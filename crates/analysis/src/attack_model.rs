@@ -1,0 +1,350 @@
+//! Statistical model of the optimal attack on RRS (§5.3) — the bucket-and-
+//! balls Bernoulli analysis behind Table 4.
+//!
+//! The attacker repeatedly picks a random row in a bank, activates it
+//! exactly `T` times (forcing a swap), and moves on (Figure 7). Each round
+//! is a ball thrown into one of `N` buckets (rows of the bank); a physical
+//! row needs `k = T_RH / T` balls in one 64 ms window for the attack to
+//! succeed. With `B = A·D/T` balls per window:
+//!
+//! ```text
+//! p_{k,T} = C(B, k) · p^k · (1 − p)^{B−k},  p = 1/N       (Eq. 1)
+//! AT_iter = 1 / (N · p_{k,T})                             (Eq. 2, 3)
+//! AT_time = 64 ms · AT_iter
+//! ```
+//!
+//! The module also provides a Monte-Carlo simulation of the same process
+//! (for validating the closed form at small `k`) and the duty-cycle model
+//! (`D`) for single-bank and all-bank attacks.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::math::ln_binomial_pmf;
+
+/// Parameters of the §5.3 security analysis.
+///
+/// # Example
+///
+/// ```
+/// use rrs_analysis::attack_model::AttackModel;
+///
+/// let m = AttackModel::asplos22();
+/// let row = m.table4_row(800);
+/// assert_eq!(row.k, 6);
+/// assert!((3.0..4.5).contains(&row.years())); // paper: 3.8 years
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttackModel {
+    /// Rows per bank (`N`, the randomization space) — 128 K baseline.
+    pub rows_per_bank: u64,
+    /// Maximum activations per bank per window (`A`) — 1.36 M baseline.
+    pub act_max: u64,
+    /// Row Hammer threshold (`T_RH`) — 4.8 K baseline.
+    pub t_rh: u64,
+    /// Window length in milliseconds — 64 baseline.
+    pub window_ms: f64,
+    /// Row cycle time in nanoseconds (`tRC`) — 45 baseline.
+    pub t_rc_ns: f64,
+    /// Bank-blocking time per swap event in microseconds (swap + unswap,
+    /// §5.3.1: "the bank is busy for 2.9 µs every T = 800 activations").
+    pub swap_us: f64,
+}
+
+impl AttackModel {
+    /// The paper's parameters.
+    pub fn asplos22() -> Self {
+        AttackModel {
+            rows_per_bank: 128 * 1024,
+            act_max: 1_360_000,
+            t_rh: 4_800,
+            window_ms: 64.0,
+            t_rc_ns: 45.0,
+            swap_us: 2.9,
+        }
+    }
+
+    /// Duty cycle `D` for a single-bank attack at swap threshold `t`: the
+    /// bank alternates `t` activations (`t · tRC`) with one 2.9 µs swap.
+    /// Evaluates to ≈0.925 at `t = 800`.
+    pub fn duty_cycle(&self, t: u64) -> f64 {
+        let act_ns = t as f64 * self.t_rc_ns;
+        act_ns / (act_ns + self.swap_us * 1_000.0)
+    }
+
+    /// The paper's all-bank duty cycle (§5.3.2): attacking all 16 banks
+    /// makes swaps contend on the shared channel, dropping `D` to 0.55.
+    pub const ALL_BANK_DUTY_CYCLE: f64 = 0.55;
+
+    /// Balls per window: `B = A · D / t`.
+    pub fn balls_per_window(&self, t: u64, duty_cycle: f64) -> u64 {
+        (self.act_max as f64 * duty_cycle / t as f64).floor() as u64
+    }
+
+    /// Probability that a given physical row collects exactly `k` balls in
+    /// one window (Eq. 1).
+    pub fn p_k(&self, t: u64, k: u64, duty_cycle: f64) -> f64 {
+        let b = self.balls_per_window(t, duty_cycle);
+        ln_binomial_pmf(b, k, 1.0 / self.rows_per_bank as f64).exp()
+    }
+
+    /// Expected attack iterations (64 ms windows) until some row reaches
+    /// `k = T_RH / t` swaps (Eq. 3).
+    pub fn attack_iterations(&self, t: u64, duty_cycle: f64) -> f64 {
+        let k = self.t_rh / t;
+        let p = self.p_k(t, k, duty_cycle);
+        1.0 / (self.rows_per_bank as f64 * p)
+    }
+
+    /// Expected attack time in seconds.
+    pub fn attack_time_seconds(&self, t: u64, duty_cycle: f64) -> f64 {
+        self.attack_iterations(t, duty_cycle) * self.window_ms / 1_000.0
+    }
+
+    /// One row of Table 4.
+    pub fn table4_row(&self, t: u64) -> Table4Row {
+        let d = self.duty_cycle(t);
+        Table4Row {
+            t,
+            k: self.t_rh / t,
+            duty_cycle: d,
+            attack_iterations: self.attack_iterations(t, d),
+            attack_time_seconds: self.attack_time_seconds(t, d),
+        }
+    }
+
+    /// The three design points of Table 4 (`k` = 5, 6, 7).
+    pub fn table4(&self) -> Vec<Table4Row> {
+        [960, 800, 685].iter().map(|&t| self.table4_row(t)).collect()
+    }
+
+    /// The all-bank variant of the `k = 6` analysis (§5.3.2: 16× more
+    /// targets but `D = 0.55`, net *worse* for the attacker: 3.8 y → 5.1 y).
+    pub fn all_bank_attack_time_seconds(&self, t: u64, banks: u64) -> f64 {
+        let iters = self.attack_iterations(t, Self::ALL_BANK_DUTY_CYCLE) / banks as f64;
+        iters * self.window_ms / 1_000.0
+    }
+
+    /// Per-window success probability: the chance that *some* row of the
+    /// bank collects `k = T_RH / t` balls within one refresh window.
+    pub fn per_window_success_probability(&self, t: u64, duty_cycle: f64) -> f64 {
+        let k = self.t_rh / t;
+        // Expected successful rows per window; for the regimes of interest
+        // this is ≪ 1 and equals the success probability to first order.
+        (self.rows_per_bank as f64 * self.p_k(t, k, duty_cycle)).min(1.0)
+    }
+
+    /// Probability that a continuous attack succeeds within `seconds` of
+    /// wall-clock: `1 − (1 − p)^n` over `n` refresh windows.
+    pub fn success_probability_within(&self, t: u64, duty_cycle: f64, seconds: f64) -> f64 {
+        let p = self.per_window_success_probability(t, duty_cycle);
+        let windows = (seconds / (self.window_ms / 1_000.0)).max(0.0);
+        1.0 - (1.0 - p).powf(windows)
+    }
+
+    /// The security-margin sweep behind Table 4's design choice: one row
+    /// per admissible `k` (thresholds `T = T_RH / k`), extended beyond the
+    /// published three points.
+    pub fn k_sweep(&self, k_range: std::ops::RangeInclusive<u64>) -> Vec<Table4Row> {
+        k_range
+            .filter(|k| *k > 0 && self.t_rh.is_multiple_of(*k))
+            .map(|k| self.table4_row(self.t_rh / k))
+            .collect()
+    }
+
+    /// Monte-Carlo estimate of `P[some bucket ≥ k balls]`-derived expected
+    /// rows with `k` balls, for validating the closed form at small `k`.
+    /// Returns the mean number of rows with at least `k` balls per window.
+    pub fn monte_carlo_rows_with_k(
+        &self,
+        t: u64,
+        k: u64,
+        duty_cycle: f64,
+        trials: u32,
+        seed: u64,
+    ) -> f64 {
+        let b = self.balls_per_window(t, duty_cycle);
+        let n = self.rows_per_bank;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut total = 0u64;
+        let mut counts = vec![0u8; n as usize];
+        for _ in 0..trials {
+            counts.iter_mut().for_each(|c| *c = 0);
+            for _ in 0..b {
+                let i = rng.random_range(0..n) as usize;
+                counts[i] = counts[i].saturating_add(1);
+            }
+            total += counts.iter().filter(|&&c| c as u64 >= k).count() as u64;
+        }
+        total as f64 / trials as f64
+    }
+}
+
+impl Default for AttackModel {
+    fn default() -> Self {
+        Self::asplos22()
+    }
+}
+
+/// One row of the paper's Table 4.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table4Row {
+    /// Swap threshold `T_RRS`.
+    pub t: u64,
+    /// `k = T_RH / T`.
+    pub k: u64,
+    /// Duty cycle used.
+    pub duty_cycle: f64,
+    /// Expected 64 ms iterations to success.
+    pub attack_iterations: f64,
+    /// Expected wall-clock time to success, seconds.
+    pub attack_time_seconds: f64,
+}
+
+impl Table4Row {
+    /// Attack time in days.
+    pub fn days(&self) -> f64 {
+        self.attack_time_seconds / 86_400.0
+    }
+
+    /// Attack time in years.
+    pub fn years(&self) -> f64 {
+        self.days() / 365.25
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duty_cycle_matches_paper() {
+        let m = AttackModel::asplos22();
+        let d = m.duty_cycle(800);
+        assert!((d - 0.925).abs() < 0.005, "D = {d}");
+        // A·D ≈ 1.26 M (§5.3.1).
+        let eff = m.act_max as f64 * d;
+        assert!((1.25e6..1.27e6).contains(&eff), "A·D = {eff}");
+    }
+
+    #[test]
+    fn table4_t800_is_about_1_9e9_iterations() {
+        let m = AttackModel::asplos22();
+        let row = m.table4_row(800);
+        assert_eq!(row.k, 6);
+        assert!(
+            (1.5e9..2.5e9).contains(&row.attack_iterations),
+            "AT_iter = {:e}",
+            row.attack_iterations
+        );
+        // "with T = 800, the expected time for a successful attack is 3.8 years"
+        assert!((3.0..4.5).contains(&row.years()), "years = {}", row.years());
+    }
+
+    #[test]
+    fn table4_t960_is_days_scale() {
+        let m = AttackModel::asplos22();
+        let row = m.table4_row(960);
+        assert_eq!(row.k, 5);
+        assert!(
+            (8.0e6..1.1e7).contains(&row.attack_iterations),
+            "AT_iter = {:e}",
+            row.attack_iterations
+        );
+        assert!((5.0..9.0).contains(&row.days()), "days = {}", row.days());
+    }
+
+    #[test]
+    fn table4_t685_is_centuries_scale() {
+        let m = AttackModel::asplos22();
+        let row = m.table4_row(685);
+        assert_eq!(row.k, 7);
+        assert!(
+            (2.0e11..6.0e11).contains(&row.attack_iterations),
+            "AT_iter = {:e}",
+            row.attack_iterations
+        );
+        assert!((500.0..1000.0).contains(&row.years()), "years = {}", row.years());
+    }
+
+    #[test]
+    fn smaller_t_is_exponentially_safer() {
+        let m = AttackModel::asplos22();
+        let rows = m.table4();
+        assert!(rows[0].attack_iterations < rows[1].attack_iterations);
+        assert!(rows[1].attack_iterations < rows[2].attack_iterations);
+        assert!(rows[2].attack_iterations / rows[0].attack_iterations > 1e3);
+    }
+
+    #[test]
+    fn all_bank_attack_is_slower_despite_16x_targets() {
+        // §5.3.2: "for k=6, the attack time for the all-bank attack
+        // increases from 3.8 years to 5.1 years".
+        let m = AttackModel::asplos22();
+        let single = m.attack_time_seconds(800, m.duty_cycle(800));
+        let all = m.all_bank_attack_time_seconds(800, 16);
+        assert!(all > single, "all-bank {all} vs single {single}");
+        let years = all / (365.25 * 86_400.0);
+        assert!((4.0..7.0).contains(&years), "all-bank years = {years}");
+    }
+
+    #[test]
+    fn monte_carlo_agrees_with_closed_form_at_small_k() {
+        let mut m = AttackModel::asplos22();
+        // Shrink the space so the MC has measurable counts.
+        m.rows_per_bank = 4_096;
+        m.act_max = 80_000;
+        let d = m.duty_cycle(800);
+        for k in [1u64, 2] {
+            let analytic = m.rows_per_bank as f64 * m.p_k(800, k, d);
+            let mc = m.monte_carlo_rows_with_k(800, k, d, 200, 42);
+            // MC counts rows with >= k, analytic is exactly k; for these
+            // parameters P[>k] << P[=k], so they should agree within ~15%.
+            let ratio = mc / analytic;
+            assert!(
+                (0.8..1.25).contains(&ratio),
+                "k={k}: mc={mc:.4}, analytic={analytic:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn success_curve_matches_expected_time() {
+        // At the expected attack time, the success probability should be
+        // ≈ 1 − 1/e ≈ 0.63 (geometric waiting time).
+        let m = AttackModel::asplos22();
+        let d = m.duty_cycle(800);
+        let t_expect = m.attack_time_seconds(800, d);
+        let p = m.success_probability_within(800, d, t_expect);
+        assert!((0.60..0.66).contains(&p), "P at expected time = {p}");
+        // Far before the expected time, success is (near) impossible.
+        let early = m.success_probability_within(800, d, t_expect / 1e6);
+        assert!(early < 2e-6, "early P = {early}");
+        // Monotone in time.
+        assert!(
+            m.success_probability_within(800, d, 10.0)
+                <= m.success_probability_within(800, d, 1_000.0)
+        );
+    }
+
+    #[test]
+    fn k_sweep_covers_admissible_divisors() {
+        let m = AttackModel::asplos22();
+        let rows = m.k_sweep(1..=8);
+        // 4800 is divisible by 1,2,3,4,5,6,8 (not 7).
+        let ks: Vec<u64> = rows.iter().map(|r| r.k).collect();
+        assert_eq!(ks, vec![1, 2, 3, 4, 5, 6, 8]);
+        // Attack time grows monotonically with k.
+        for w in rows.windows(2) {
+            assert!(w[1].attack_time_seconds > w[0].attack_time_seconds);
+        }
+    }
+
+    #[test]
+    fn probability_is_zero_when_k_exceeds_balls() {
+        let m = AttackModel::asplos22();
+        // t so large that fewer than k balls fit.
+        let p = m.p_k(1_000_000, 6, 1.0);
+        assert_eq!(p, 0.0);
+    }
+}

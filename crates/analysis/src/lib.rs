@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! Analytic models for the RRS reproduction.
+//!
+//! * [`attack_model`] — the §5.3 bucket-and-balls Bernoulli analysis
+//!   (Table 4, all-bank attack) plus Monte-Carlo validation,
+//! * [`cat_model`] — CAT conflict Monte-Carlo and continued-squaring
+//!   extrapolation (Figure 9),
+//! * [`storage`] — SRAM storage accounting (Table 5),
+//! * [`power`] — SRAM/DRAM power accounting (Table 6),
+//! * [`math`] — log-space combinatorics shared by the models.
+//!
+//! # Example
+//!
+//! ```
+//! use rrs_analysis::attack_model::AttackModel;
+//!
+//! let model = AttackModel::asplos22();
+//! let row = model.table4_row(800);
+//! // "with T = 800, the expected time for a successful attack is 3.8 years"
+//! assert!((3.0..4.5).contains(&row.years()));
+//! ```
+
+pub mod attack_model;
+pub mod cat_model;
+pub mod math;
+pub mod power;
+pub mod storage;
+
+pub use attack_model::{AttackModel, Table4Row};
+pub use cat_model::{CatModel, ConflictEstimate};
+pub use power::{SramPowerModel, Table6};
+pub use storage::{storage_breakdown, table5, StorageBreakdown, StorageRow};

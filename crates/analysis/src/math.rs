@@ -1,0 +1,139 @@
+//! Numerical helpers: log-gamma, log-binomial coefficients, and log-space
+//! Bernoulli/binomial probabilities.
+//!
+//! Table 4's quantities involve terms like `C(1575, 6) · (1/131072)^6`,
+//! far outside `f64`'s direct range at intermediate steps, so everything is
+//! computed in log space.
+
+/// Natural log of the gamma function, via the Lanczos approximation
+/// (g = 7, n = 9 coefficients; |error| < 1e-13 for x > 0).
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires a positive argument");
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.5203681218851,
+        -1259.1392167224028,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507343278686905,
+        -0.13857109526572012,
+        9.984_369_578_019_572e-6,
+        1.5056327351493116e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        return std::f64::consts::PI.ln()
+            - (std::f64::consts::PI * x).sin().ln()
+            - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + G + 0.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Natural log of `n!`.
+pub fn ln_factorial(n: u64) -> f64 {
+    ln_gamma(n as f64 + 1.0)
+}
+
+/// Natural log of the binomial coefficient `C(n, k)`.
+///
+/// Returns `f64::NEG_INFINITY` when `k > n`.
+pub fn ln_choose(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// Natural log of the binomial pmf: `P[X = k]` for `X ~ Binomial(n, p)`.
+pub fn ln_binomial_pmf(n: u64, k: u64, p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "probability out of range");
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    if p == 0.0 {
+        return if k == 0 { 0.0 } else { f64::NEG_INFINITY };
+    }
+    if p == 1.0 {
+        return if k == n { 0.0 } else { f64::NEG_INFINITY };
+    }
+    ln_choose(n, k) + k as f64 * p.ln() + (n - k) as f64 * (1.0 - p).ln_1p_adjusted()
+}
+
+/// Extension providing `ln(1 - p)` computed accurately for small `p`.
+trait Ln1pAdjusted {
+    fn ln_1p_adjusted(self) -> f64;
+}
+
+impl Ln1pAdjusted for f64 {
+    /// `self` is already `1 - p`; for tiny `p` precision matters, so route
+    /// through `ln_1p(-p)`.
+    fn ln_1p_adjusted(self) -> f64 {
+        let p = 1.0 - self;
+        (-p).ln_1p()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        for (n, f) in [(1u64, 1f64), (2, 1.0), (3, 2.0), (5, 24.0), (10, 362_880.0)] {
+            let got = ln_gamma(n as f64);
+            assert!(
+                (got - f.ln()).abs() < 1e-10,
+                "ln_gamma({n}) = {got}, want {}",
+                f.ln()
+            );
+        }
+    }
+
+    #[test]
+    fn ln_choose_small_exact() {
+        assert!((ln_choose(10, 3) - 120f64.ln()).abs() < 1e-10);
+        assert!((ln_choose(52, 5) - 2_598_960f64.ln()).abs() < 1e-9);
+        assert_eq!(ln_choose(5, 6), f64::NEG_INFINITY);
+        assert!((ln_choose(5, 0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ln_choose_large_is_finite() {
+        let v = ln_choose(1_575, 6);
+        assert!(v.is_finite());
+        // C(1575, 6) ≈ 2.68e16 (sanity band).
+        assert!((35.0..40.0).contains(&v), "lnC = {v}");
+    }
+
+    #[test]
+    fn binomial_pmf_sums_to_one() {
+        let n = 40;
+        let p = 0.13;
+        let total: f64 = (0..=n).map(|k| ln_binomial_pmf(n, k, p).exp()).sum();
+        assert!((total - 1.0).abs() < 1e-10, "sum = {total}");
+    }
+
+    #[test]
+    fn binomial_pmf_edge_probabilities() {
+        assert_eq!(ln_binomial_pmf(10, 0, 0.0), 0.0);
+        assert_eq!(ln_binomial_pmf(10, 3, 0.0), f64::NEG_INFINITY);
+        assert_eq!(ln_binomial_pmf(10, 10, 1.0), 0.0);
+    }
+
+    #[test]
+    fn tiny_p_precision_holds() {
+        // (1-p)^n with p = 1/131072, n = 1569: should be ≈ e^{-n p}.
+        let p = 1.0 / 131_072.0;
+        let n = 1_569u64;
+        let v = ln_binomial_pmf(n, 0, p);
+        let expect = -(n as f64) * p;
+        assert!((v - expect).abs() < 1e-6, "{v} vs {expect}");
+    }
+}

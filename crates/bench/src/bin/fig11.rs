@@ -1,0 +1,62 @@
+//! Figure 11: performance S-curve of RRS vs BlockHammer (blacklist 512 and
+//! 1K) over the workload population (§8.1).
+//!
+//! Paper: BlockHammer worst case 21.7% slowdown with 10–25 workloads above
+//! 5%, average ≈2%; RRS worst case 7.6% with only 3 workloads above 5%,
+//! average 0.4%.
+//!
+//! `cargo run --release -p bench --bin fig11 [--workloads all] [--scale N]`
+
+use bench::{header, run_normalized, Args};
+use rrs::experiments::{geomean, MitigationKind};
+
+fn main() {
+    let args = Args::parse();
+    header("Figure 11: S-Curve, RRS vs BlockHammer", &args.config);
+
+    let kinds = [
+        ("rrs", MitigationKind::Rrs),
+        ("bh-512", MitigationKind::BlockHammer512),
+        ("bh-1k", MitigationKind::BlockHammer1k),
+    ];
+    let mut curves: Vec<(&str, Vec<f64>)> = Vec::new();
+    for (name, kind) in kinds {
+        eprintln!("running {name} ...");
+        let runs = run_normalized(&args.config, &args.workloads, kind, |w| {
+            eprint!("\r  {w:<16}");
+        });
+        eprintln!();
+        let mut norms: Vec<f64> = runs.iter().map(|r| r.normalized()).collect();
+        norms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        curves.push((name, norms));
+    }
+
+    println!("sorted normalized performance (S-curve):");
+    print!("{:<10}", "rank");
+    for (name, _) in &curves {
+        print!(" {name:>10}");
+    }
+    println!();
+    println!("{}", "-".repeat(10 + 11 * curves.len()));
+    let n = curves[0].1.len();
+    for i in 0..n {
+        print!("{:<10}", i + 1);
+        for (_, c) in &curves {
+            print!(" {:>10.4}", c[i]);
+        }
+        println!();
+    }
+    println!("{}", "-".repeat(10 + 11 * curves.len()));
+    for (name, c) in &curves {
+        let worst = (1.0 - c[0]) * 100.0;
+        let avg = (1.0 - geomean(c)) * 100.0;
+        let above5 = c.iter().filter(|&&v| v < 0.95).count();
+        println!(
+            "{name:<8} worst {worst:>5.1}%  avg {avg:>5.2}%  workloads >5% slowdown: {above5}"
+        );
+    }
+    println!(
+        "\npaper: bh-512/bh-1k worst 21.7%, 10-25 workloads over 5%, avg ~2%;\n\
+         rrs worst 7.6%, 3 workloads over 5%, avg 0.4%."
+    );
+}

@@ -1,0 +1,60 @@
+//! Figure 6: performance of RRS normalized to the no-defense baseline
+//! (§4.7; geometric means per suite on the right; paper: 0.4% average
+//! slowdown, worst cases ≈5% for bzip2/gcc/xz_17).
+//!
+//! `cargo run --release -p bench --bin fig6 [--workloads all] [--scale N]`
+
+use bench::{header, run_normalized, suite_geomeans, Args};
+use rrs::experiments::MitigationKind;
+
+fn main() {
+    let args = Args::parse();
+    header("Figure 6: Normalized Performance of RRS", &args.config);
+
+    let runs = run_normalized(&args.config, &args.workloads, MitigationKind::Rrs, |w| {
+        eprint!("\r  running {w:<16}");
+    });
+    eprintln!();
+
+    println!(
+        "{:<12} {:>10} {:>12} {:>12}",
+        "Workload", "norm perf", "swaps/epoch", "base IPC"
+    );
+    println!("{}", "-".repeat(50));
+    for r in &runs {
+        println!(
+            "{:<12} {:>10.4} {:>12.1} {:>12.3}",
+            r.workload.name(),
+            r.normalized(),
+            r.mitigated.stats.mean_swaps_per_epoch(),
+            r.base.aggregate_ipc()
+        );
+    }
+    println!("{}", "-".repeat(50));
+    for (suite, g) in suite_geomeans(&runs) {
+        println!("{suite:<12} {g:>10.4}   (geomean)");
+    }
+    let mut csv = vec![vec![
+        "workload".into(),
+        "suite".into(),
+        "normalized".into(),
+        "swaps_per_epoch".into(),
+        "base_ipc".into(),
+    ]];
+    for r in &runs {
+        csv.push(vec![
+            r.workload.name().into(),
+            r.workload.suite().label().into(),
+            format!("{:.6}", r.normalized()),
+            format!("{:.2}", r.mitigated.stats.mean_swaps_per_epoch()),
+            format!("{:.4}", r.base.aggregate_ipc()),
+        ]);
+    }
+    args.write_csv(&csv);
+    let overall = suite_geomeans(&runs).last().unwrap().1;
+    println!(
+        "\noverall slowdown: {:.2}%   (paper: 0.4% average over 78 workloads,\n\
+         worst ≈5%, driven by swap count × MPKI)",
+        (1.0 - overall) * 100.0
+    );
+}

@@ -1,0 +1,46 @@
+//! Full-scale (paper-parameter) security spot check: T_RH = 4800, 64 ms
+//! epochs, 1.46 µs swaps — no scaling anywhere. Slower than the scaled
+//! harness (each epoch is ~1.4 M attacker accesses) but exercises the
+//! exact design point of the paper.
+//!
+//! `cargo run --release -p bench --bin fullscale_attack [--epochs N]`
+
+use bench::Args;
+use rrs::experiments::{ExperimentConfig, MitigationKind};
+use rrs::workloads::AttackKind;
+
+fn main() {
+    let args = Args::parse();
+    let cfg = ExperimentConfig::default()
+        .with_scale(1)
+        .with_full_swap_cost();
+    println!("== Full-scale security check (T_RH = {}, 64 ms epochs) ==\n", cfg.t_rh());
+    println!(
+        "{:<16} {:<12} {:>8} {:>10} {:>10}",
+        "attack", "defense", "flips", "swaps", "refreshes"
+    );
+    println!("{}", "-".repeat(60));
+    let cases = [
+        (AttackKind::DoubleSided, MitigationKind::None, 1),
+        (AttackKind::DoubleSided, MitigationKind::VictimRefresh, 1),
+        (AttackKind::DoubleSided, MitigationKind::Rrs, 1),
+        (AttackKind::HalfDouble, MitigationKind::VictimRefresh, 2),
+        (AttackKind::HalfDouble, MitigationKind::Rrs, 2),
+        (cfg.swap_chasing_attack(), MitigationKind::Rrs, 2),
+    ];
+    for (attack, defense, epochs) in cases {
+        let o = cfg.run_attack(attack, defense, epochs.max(args.epochs.min(4)));
+        println!(
+            "{:<16} {:<12} {:>8} {:>10} {:>10}",
+            attack.name(),
+            o.result.mitigation,
+            o.bit_flips.len(),
+            o.result.stats.swaps,
+            o.result.stats.targeted_refreshes
+        );
+    }
+    println!(
+        "\nexpected: double-sided flips only undefended; half-double flips\n\
+         only through victim refresh; RRS never flips (incl. swap-chasing)."
+    );
+}

@@ -1,0 +1,64 @@
+//! Table 2: baseline system configuration (§3).
+//!
+//! `cargo run --release -p bench --bin table2`
+
+use rrs::sim::SystemConfig;
+
+fn main() {
+    let c = SystemConfig::asplos22_baseline(1_000_000_000);
+    let g = c.controller.geometry;
+    let t = c.controller.timing;
+    println!("== Table 2: Baseline System Configuration ==\n");
+    let rows: Vec<(&str, String)> = vec![
+        ("Cores (OoO)", c.cores.to_string()),
+        ("Processor clock speed", format!("{} GHz", t.cpu_ghz)),
+        ("ROB size", c.rob_size.to_string()),
+        ("Fetch and Retire width", c.fetch_width.to_string()),
+        (
+            "Last Level Cache (Shared)",
+            "8MB, 16-Way, 64B lines (optional: traces are post-cache)".to_string(),
+        ),
+        (
+            "Memory size",
+            format!("{} GB - DDR4", g.total_bytes() >> 30),
+        ),
+        (
+            "Memory bus speed",
+            format!("{} GHz ({} GHz DDR)", t.bus_ghz, 2.0 * t.bus_ghz),
+        ),
+        (
+            "tRCD-tRP-tCAS",
+            format!(
+                "{:.0}-{:.0}-{:.0} ns",
+                t.cycles_to_ns(t.t_rcd),
+                t.cycles_to_ns(t.t_rp),
+                t.cycles_to_ns(t.t_cas)
+            ),
+        ),
+        (
+            "tRC, tRFC, tREFI",
+            format!(
+                "{:.0} ns, {:.0} ns, {:.1} us",
+                t.cycles_to_ns(t.t_rc),
+                t.cycles_to_ns(t.t_rfc),
+                t.cycles_to_ns(t.t_refi) / 1000.0
+            ),
+        ),
+        (
+            "Banks x Ranks x Channels",
+            format!(
+                "{} x {} x {}",
+                g.banks_per_rank, g.ranks_per_channel, g.channels
+            ),
+        ),
+        ("Rows per bank", format!("{}K", g.rows_per_bank / 1024)),
+        ("Size of row", format!("{}KB", g.row_size_bytes / 1024)),
+        (
+            "Max activations per bank per 64ms",
+            format!("{:.2}M", t.max_activations_per_epoch() as f64 / 1e6),
+        ),
+    ];
+    for (k, v) in rows {
+        println!("{k:<36} {v}");
+    }
+}

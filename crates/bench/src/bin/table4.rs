@@ -1,0 +1,58 @@
+//! Table 4: attack iterations and attack time to cause T_RH = 4800
+//! activations on one row (§5.3.2), plus the all-bank variant and a
+//! Monte-Carlo validation of the bucket-and-balls model.
+//!
+//! `cargo run --release -p bench --bin table4 [--all-bank] [--validate]`
+
+use bench::{human_time, sci, Args};
+use rrs::analysis::attack_model::AttackModel;
+
+fn main() {
+    let args = Args::parse();
+    let model = AttackModel::asplos22();
+    println!("== Table 4: Attack Iterations and Attack Time (T_RH = 4800) ==\n");
+    println!(
+        "{:<18} {:>4} {:>8} {:>14} {:>14}   AT_time",
+        "RRS Threshold (T)", "k", "D", "AT_iter", "paper"
+    );
+    println!("{}", "-".repeat(76));
+    let paper = [9.3e6, 1.9e9, 3.8e11];
+    for (row, p) in model.table4().iter().zip(paper) {
+        println!(
+            "{:<18} {:>4} {:>8.3} {:>14} {:>14}   {}",
+            row.t,
+            row.k,
+            row.duty_cycle,
+            sci(row.attack_iterations),
+            sci(p),
+            human_time(row.attack_time_seconds)
+        );
+    }
+    println!(
+        "\npaper: 960 -> 6.9 days, 800 -> 3.8 years, 685 -> 762 years"
+    );
+
+    println!("\n-- All-bank attack (§5.3.2: D = 0.55, 16 banks) --");
+    let t = 800;
+    let single = model.attack_time_seconds(t, model.duty_cycle(t));
+    let all = model.all_bank_attack_time_seconds(t, 16);
+    println!("single-bank (k=6): {}", human_time(single));
+    println!(
+        "all-bank    (k=6): {}  (paper: 3.8 -> 5.1 years)",
+        human_time(all)
+    );
+
+    if args.has_flag("--validate") {
+        println!("\n-- Monte-Carlo validation (reduced space, small k) --");
+        let mut m = model;
+        m.rows_per_bank = 4_096;
+        m.act_max = 80_000;
+        let d = m.duty_cycle(800);
+        println!("{:<4} {:>14} {:>14}", "k", "analytic", "monte-carlo");
+        for k in [1u64, 2, 3] {
+            let analytic = m.rows_per_bank as f64 * m.p_k(800, k, d);
+            let mc = m.monte_carlo_rows_with_k(800, k, d, 400, 99);
+            println!("{k:<4} {:>14} {:>14}", sci(analytic), sci(mc));
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Table 5: storage overhead per bank (§7.1).
+//!
+//! `cargo run --release -p bench --bin table5`
+
+use rrs::analysis::storage::table5;
+
+fn main() {
+    println!("== Table 5: Storage Overhead Per Bank ==\n");
+    let t = table5();
+    println!(
+        "{:<14} {:>12} {:>10} {:>10}   paper",
+        "Structure", "Entry bits", "Entries", "Cost"
+    );
+    println!("{}", "-".repeat(64));
+    let paper = ["35KB", "6.9KB", "1KB"];
+    for (row, p) in t.rows.iter().zip(paper) {
+        println!(
+            "{:<14} {:>12} {:>10} {:>9.1}K   {}",
+            row.structure, row.entry_bits, row.entries, row.kib_per_bank, p
+        );
+    }
+    println!("{}", "-".repeat(64));
+    println!(
+        "{:<14} {:>12} {:>10} {:>9.1}K   42.9KB",
+        "Total", "", "", t.total_kib_per_bank()
+    );
+    println!(
+        "\nPer rank (16 banks): {:.0} KiB   (paper: 686KB)",
+        t.total_kib_per_rank(16)
+    );
+}

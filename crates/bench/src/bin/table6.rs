@@ -1,0 +1,49 @@
+//! Table 6: extra power consumption of RRS per rank (§7.2).
+//!
+//! The DRAM overhead is measured from the simulator's command counts over
+//! the workload pool; the SRAM figure comes from the first-order Cacti
+//! substitute (DESIGN.md documents the substitution).
+//!
+//! `cargo run --release -p bench --bin table6 [--workloads all]`
+
+use bench::{header, Args};
+use rrs::analysis::power::Table6;
+use rrs::experiments::{mean, MitigationKind};
+
+fn main() {
+    let args = Args::parse();
+    header("Table 6: Extra Power Consumption in RRS Per Rank", &args.config);
+
+    let geometry = rrs::dram::geometry::DramGeometry::asplos22_baseline();
+    let timing = args.config.timing();
+    // Scale normalization: swaps-per-window are scale-invariant (they track
+    // the hot-row population) while demand traffic per window shrinks by
+    // the scale factor, so the full-scale overhead is the measured ratio
+    // divided by the scale.
+    let mut fractions = Vec::new();
+    for w in &args.workloads {
+        let r = args.config.run_workload(w, MitigationKind::Rrs);
+        let report = r.power_report(&timing, geometry.lines_per_row(), 1);
+        fractions.push(report.swap_overhead_fraction() / args.config.scale as f64);
+    }
+    let t6 = Table6::from_measured(mean(&fractions));
+
+    println!("{:<44} Average", "Type of Power Overhead");
+    println!("{}", "-".repeat(58));
+    println!(
+        "{:<44} {:.2}%   (paper: 0.5%)",
+        "DRAM Power Overhead (Row-Swap)",
+        100.0 * t6.dram_overhead_fraction
+    );
+    println!(
+        "{:<44} {:.0} mW  (paper: 903 mW)",
+        "SRAM Power Overhead (RRS Structures)", t6.sram_power_mw
+    );
+    println!(
+        "\nmeasured over {} workloads; per-workload swap-energy fractions ranged\n\
+         {:.3}% – {:.3}%",
+        fractions.len(),
+        100.0 * fractions.iter().cloned().fold(f64::INFINITY, f64::min),
+        100.0 * fractions.iter().cloned().fold(0.0f64, f64::max),
+    );
+}

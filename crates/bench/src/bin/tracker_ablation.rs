@@ -1,0 +1,72 @@
+//! Tracking-mechanism ablation (§4.2): RRS works with *any* tracker, but
+//! the tracker determines the swap rate, which determines the overhead.
+//!
+//! Compares, under identical access streams:
+//!
+//! * the paper's Misra-Gries CAT tracker (exact over-estimates, bounded
+//!   entries),
+//! * a counting-Bloom-filter tracker (never underestimates either, but
+//!   aliasing fires spurious swaps),
+//! * the footnote-1 stateless probabilistic trigger (handled by the
+//!   `prob_rrs` mitigation; see the Criterion `end_to_end` bench).
+//!
+//! `cargo run --release -p bench --bin tracker_ablation`
+
+use rrs::core::rrs::{BankRrs, RrsConfig};
+use rrs::core::tracker::CbfTracker;
+
+fn main() {
+    // A scaled design point: T_RH = 300, T_RRS = 50.
+    let config = RrsConfig::for_threshold(300, 40_000, 128 * 1024);
+    println!("== Tracker ablation: swaps triggered per tracker ==");
+    println!(
+        "design point: T_RRS = {}, tracker entries (MG) = {}\n",
+        config.t_rrs, config.tracker_entries
+    );
+
+    // Workload: a few genuinely hot rows + background noise.
+    let stream = |i: u64| -> u64 {
+        let x = i
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        if i.is_multiple_of(4) {
+            x % 8 // 8 hot rows get 25% of traffic
+        } else {
+            1_000 + (x >> 40) % 50_000
+        }
+    };
+    let accesses = 40_000u64;
+
+    let mut mg = BankRrs::new(config, 0);
+    for i in 0..accesses {
+        mg.on_activation(stream(i));
+    }
+
+    println!("{:<24} {:>10} {:>10} {:>10}", "tracker", "swaps", "unswaps", "stalls");
+    println!("{}", "-".repeat(58));
+    let s = mg.stats();
+    println!(
+        "{:<24} {:>10} {:>10} {:>10}",
+        "misra-gries (paper)", s.swaps, s.unswaps, s.capacity_stalls
+    );
+
+    for (label, counters) in [("cbf 8192x3", 8_192usize), ("cbf 2048x3", 2_048), ("cbf 512x3", 512)] {
+        let tracker = CbfTracker::new(config.t_rrs, counters, 3, 0xAB1A7E);
+        let mut cbf = BankRrs::with_tracker(config, 0, tracker);
+        for i in 0..accesses {
+            cbf.on_activation(stream(i));
+        }
+        let s = cbf.stats();
+        println!(
+            "{:<24} {:>10} {:>10} {:>10}",
+            label, s.swaps, s.unswaps, s.capacity_stalls
+        );
+    }
+
+    println!(
+        "\nBoth trackers never underestimate (security holds); the Bloom\n\
+         filter's aliasing inflates the swap rate as it shrinks — the reason\n\
+         the paper pairs RRS with Misra-Gries tracking, and smaller filters\n\
+         make it worse. Every swap is ~1.46 µs of blocked channel."
+    );
+}

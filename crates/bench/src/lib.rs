@@ -1,0 +1,229 @@
+//! Shared harness utilities for the table/figure regeneration binaries.
+//!
+//! Every binary accepts the same flags:
+//!
+//! * `--scale N`     — time-scale factor (must divide 800; default 100).
+//!   `--scale 1` is the paper's full-scale parameterization.
+//! * `--instr N`     — instructions per core for benign runs.
+//! * `--workloads W` — `table3` (default: the paper's 28 hot workloads),
+//!   `all` (the full 78-workload population), or a number (first N).
+//! * `--epochs N`    — refresh windows for attack campaigns.
+//!
+//! Results print as aligned text tables with the paper's reference values
+//! alongside, ready to paste into EXPERIMENTS.md.
+
+use rrs::experiments::{ExperimentConfig, MitigationKind};
+use rrs::sim::SimResult;
+use rrs::workloads::catalog::{all_workloads, table3_workloads, Workload};
+
+/// Parsed command-line options.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Experiment configuration derived from flags.
+    pub config: ExperimentConfig,
+    /// Which workloads to run.
+    pub workloads: Vec<Workload>,
+    /// Attack campaign length in (scaled) refresh windows.
+    pub epochs: u64,
+    /// Where to write machine-readable CSV output (`--csv <path>`).
+    pub csv: Option<String>,
+    /// Extra free-form flags (binary-specific, e.g. `--all-bank`).
+    pub flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses `std::env::args`, with harness-wide defaults.
+    pub fn parse() -> Args {
+        let mut scale = 100u64;
+        let mut instr = 2_000_000u64;
+        let mut workloads = String::from("table3");
+        let mut epochs = 2u64;
+        let mut csv = None;
+        let mut flags = Vec::new();
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < argv.len() {
+            let take = |i: &mut usize| -> String {
+                *i += 1;
+                argv.get(*i).cloned().unwrap_or_default()
+            };
+            match argv[i].as_str() {
+                "--scale" => scale = take(&mut i).parse().expect("--scale N"),
+                "--instr" => instr = take(&mut i).parse().expect("--instr N"),
+                "--workloads" => workloads = take(&mut i),
+                "--epochs" => epochs = take(&mut i).parse().expect("--epochs N"),
+                "--csv" => csv = Some(take(&mut i)),
+                other => flags.push(other.to_string()),
+            }
+            i += 1;
+        }
+        let config = ExperimentConfig::default()
+            .with_scale(scale)
+            .with_instructions(instr);
+        let pool = match workloads.as_str() {
+            "all" => all_workloads(),
+            "table3" => table3_workloads(),
+            n => {
+                let count: usize = n.parse().unwrap_or(8);
+                all_workloads().into_iter().take(count).collect()
+            }
+        };
+        Args {
+            config,
+            workloads: pool,
+            epochs,
+            csv,
+            flags,
+        }
+    }
+
+    /// Writes CSV rows to the `--csv` path, if one was given. The first
+    /// row should be the header. Errors are reported, not fatal.
+    pub fn write_csv(&self, rows: &[Vec<String>]) {
+        let Some(path) = &self.csv else { return };
+        let mut out = String::new();
+        for row in rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        match std::fs::write(path, out) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
+
+    /// Whether a free-form flag was passed.
+    pub fn has_flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+}
+
+/// Prints the standard experiment header.
+pub fn header(title: &str, config: &ExperimentConfig) {
+    println!("== {title} ==");
+    println!(
+        "scale 1/{} (T_RH = {}, epoch = {:.3} ms), {} instr/core, {} cores\n",
+        config.scale,
+        config.t_rh(),
+        config.timing().cycles_to_ns(config.timing().epoch) / 1e6,
+        config.instructions_per_core,
+        config.cores,
+    );
+}
+
+/// A benign run pair (baseline + mitigated) for normalized-performance
+/// figures.
+pub struct NormalizedRun {
+    /// The workload run.
+    pub workload: Workload,
+    /// Baseline (no-defense) result.
+    pub base: SimResult,
+    /// Mitigated result.
+    pub mitigated: SimResult,
+}
+
+impl NormalizedRun {
+    /// Normalized performance (Figure 6's y-axis).
+    pub fn normalized(&self) -> f64 {
+        self.mitigated.normalized_to(&self.base)
+    }
+}
+
+/// Runs `kind` against every workload, returning per-workload pairs.
+pub fn run_normalized(
+    config: &ExperimentConfig,
+    workloads: &[Workload],
+    kind: MitigationKind,
+    mut progress: impl FnMut(&str),
+) -> Vec<NormalizedRun> {
+    workloads
+        .iter()
+        .map(|w| {
+            progress(w.name());
+            NormalizedRun {
+                workload: *w,
+                base: config.run_workload(w, MitigationKind::None),
+                mitigated: config.run_workload(w, kind),
+            }
+        })
+        .collect()
+}
+
+/// Geometric mean over normalized performances, grouped by suite; returns
+/// `(suite label, geomean)` pairs in first-seen order plus the overall one.
+pub fn suite_geomeans(runs: &[NormalizedRun]) -> Vec<(String, f64)> {
+    let mut order: Vec<String> = Vec::new();
+    let mut groups: std::collections::HashMap<String, Vec<f64>> = std::collections::HashMap::new();
+    for r in runs {
+        let label = r.workload.suite().label().to_string();
+        if !groups.contains_key(&label) {
+            order.push(label.clone());
+        }
+        groups.entry(label).or_default().push(r.normalized());
+    }
+    let mut out: Vec<(String, f64)> = order
+        .into_iter()
+        .map(|label| {
+            let g = rrs::experiments::geomean(&groups[&label]);
+            (label, g)
+        })
+        .collect();
+    let all: Vec<f64> = runs.iter().map(|r| r.normalized()).collect();
+    out.push(("ALL".to_string(), rrs::experiments::geomean(&all)));
+    out
+}
+
+/// Formats a large count in engineering notation (`1.9e9`).
+pub fn sci(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else if x.abs() >= 1e4 {
+        format!("{x:.1e}")
+    } else {
+        format!("{x:.1}")
+    }
+}
+
+/// Formats a duration given in seconds the way Table 4 does (days/years).
+pub fn human_time(seconds: f64) -> String {
+    let days = seconds / 86_400.0;
+    let years = days / 365.25;
+    if years >= 1.0 {
+        format!("{years:.1} years")
+    } else if days >= 1.0 {
+        format!("{days:.1} days")
+    } else if seconds >= 3600.0 {
+        format!("{:.1} hours", seconds / 3600.0)
+    } else {
+        format!("{seconds:.1} s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sci_formats_reasonably() {
+        assert_eq!(sci(0.0), "0");
+        assert_eq!(sci(42.0), "42.0");
+        assert_eq!(sci(1.9e9), "1.9e9");
+    }
+
+    #[test]
+    fn human_time_picks_units() {
+        assert_eq!(human_time(10.0), "10.0 s");
+        assert!(human_time(7.0 * 86_400.0).contains("days"));
+        assert!(human_time(4.0 * 365.25 * 86_400.0).contains("years"));
+    }
+
+    #[test]
+    fn suite_geomeans_include_overall() {
+        let cfg = ExperimentConfig::smoke_test();
+        let pool: Vec<Workload> = table3_workloads().into_iter().take(2).collect();
+        let runs = run_normalized(&cfg, &pool, MitigationKind::Rrs, |_| {});
+        let means = suite_geomeans(&runs);
+        assert_eq!(means.last().unwrap().0, "ALL");
+        assert!(means.last().unwrap().1 > 0.0);
+    }
+}

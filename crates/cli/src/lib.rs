@@ -1,0 +1,514 @@
+//! Implementation of the `rrs` command-line interface.
+//!
+//! The CLI wraps the [`rrs::experiments`] harness: every subcommand builds
+//! an [`ExperimentConfig`] from the shared flags (`--scale`, `--instr`,
+//! `--cores`, `--seed`) and prints a human-readable report. See
+//! [`print_usage`] for the command reference.
+
+use std::fmt;
+
+use rrs::experiments::{ExperimentConfig, MitigationKind};
+use rrs::sim::{SimResult, TraceSource};
+use rrs::workloads::catalog::{all_workloads, spec_by_name, table3_workloads, Workload};
+use rrs::workloads::AttackKind;
+
+/// A CLI-level error (message already formatted for the user).
+#[derive(Debug)]
+pub struct CliError(String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<String> for CliError {
+    fn from(s: String) -> Self {
+        CliError(s)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(s: &str) -> Self {
+        CliError(s.to_string())
+    }
+}
+
+/// Parsed flag set (`--key value` pairs plus bare switches).
+#[derive(Debug, Default)]
+pub struct Flags {
+    pairs: Vec<(String, String)>,
+    switches: Vec<String>,
+}
+
+impl Flags {
+    /// Parses everything after the subcommand.
+    pub fn parse(args: &[String]) -> Result<Flags, CliError> {
+        let mut flags = Flags::default();
+        let mut i = 0;
+        while i < args.len() {
+            let a = &args[i];
+            let Some(key) = a.strip_prefix("--") else {
+                return Err(format!("unexpected argument {a:?}").into());
+            };
+            if let Some(value) = args.get(i + 1).filter(|v| !v.starts_with("--")) {
+                flags.pairs.push((key.to_string(), value.clone()));
+                i += 2;
+            } else {
+                flags.switches.push(key.to_string());
+                i += 1;
+            }
+        }
+        Ok(flags)
+    }
+
+    /// String value of `--key`, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Parsed numeric value of `--key`.
+    pub fn get_num<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, CliError> {
+        self.get(key)
+            .map(|v| {
+                v.parse::<T>()
+                    .map_err(|_| CliError(format!("--{key} expects a number, got {v:?}")))
+            })
+            .transpose()
+    }
+
+    /// Whether the bare switch `--key` was given.
+    pub fn has(&self, key: &str) -> bool {
+        self.switches.iter().any(|s| s == key)
+    }
+
+    /// Builds the experiment configuration from the shared flags.
+    pub fn experiment(&self) -> Result<ExperimentConfig, CliError> {
+        let mut cfg = ExperimentConfig::default();
+        if let Some(scale) = self.get_num::<u64>("scale")? {
+            if scale == 0 || 800 % scale != 0 {
+                return Err(format!("--scale must divide 800, got {scale}").into());
+            }
+            cfg = cfg.with_scale(scale);
+        }
+        if let Some(instr) = self.get_num::<u64>("instr")? {
+            cfg = cfg.with_instructions(instr);
+        }
+        if let Some(t_rh) = self.get_num::<u64>("t-rh")? {
+            cfg = cfg.with_t_rh(t_rh);
+        }
+        if let Some(cores) = self.get_num::<usize>("cores")? {
+            cfg.cores = cores.clamp(1, 64);
+        }
+        if let Some(seed) = self.get_num::<u64>("seed")? {
+            cfg.seed = seed;
+        }
+        Ok(cfg)
+    }
+
+    /// Parses `--defense`.
+    pub fn defense(&self) -> Result<MitigationKind, CliError> {
+        parse_defense(self.get("defense").unwrap_or("rrs"))
+    }
+}
+
+/// Maps a defense name to its kind.
+pub fn parse_defense(name: &str) -> Result<MitigationKind, CliError> {
+    Ok(match name {
+        "none" => MitigationKind::None,
+        "rrs" => MitigationKind::Rrs,
+        "blockhammer" | "bh" | "bh-512" => MitigationKind::BlockHammer512,
+        "bh-1k" => MitigationKind::BlockHammer1k,
+        "vfm" | "victim-refresh" => MitigationKind::VictimRefresh,
+        "graphene" => MitigationKind::Graphene,
+        "para" => MitigationKind::Para,
+        "prob-rrs" => MitigationKind::ProbabilisticRrs,
+        other => {
+            return Err(format!(
+                "unknown defense {other:?} (none|rrs|bh-512|bh-1k|vfm|graphene|para|prob-rrs)"
+            )
+            .into())
+        }
+    })
+}
+
+/// Maps an attack name to its pattern (resolving `swap-chasing` against
+/// the configured threshold).
+pub fn parse_attack(name: &str, cfg: &ExperimentConfig) -> Result<AttackKind, CliError> {
+    Ok(match name {
+        "single-sided" => AttackKind::SingleSided,
+        "double-sided" => AttackKind::DoubleSided,
+        "half-double" => AttackKind::HalfDouble,
+        "many-sided" => AttackKind::ManySided(6),
+        "blacksmith" => AttackKind::Blacksmith { n: 6 },
+        "swap-chasing" => cfg.swap_chasing_attack(),
+        "dos" => AttackKind::Dos,
+        "random" => AttackKind::UniformRandom,
+        other => {
+            return Err(format!(
+                "unknown attack {other:?} (single-sided|double-sided|half-double|\
+                 many-sided|blacksmith|swap-chasing|dos|random)"
+            )
+            .into())
+        }
+    })
+}
+
+fn print_run(r: &SimResult) {
+    println!("workload     : {}", r.workload);
+    println!("defense      : {}", r.mitigation);
+    println!("instructions : {}", r.total_instructions);
+    println!("cycles       : {}", r.cycles);
+    println!("aggregate IPC: {:.3}", r.aggregate_ipc());
+    println!("activations  : {}", r.stats.activations);
+    println!("row hits     : {} ({:.1}%)", r.stats.row_hits, 100.0 * r.stats.row_hit_rate());
+    println!("swaps        : {} (+{} unswaps)", r.stats.swaps, r.stats.unswaps);
+    println!("victim refr. : {}", r.stats.targeted_refreshes);
+    println!("delay cycles : {}", r.stats.mitigation_delay_cycles);
+    println!("epochs       : {}", r.stats.epochs_completed);
+    println!(
+        "read latency : mean {:.0} / p50 {} / p95 {} / p99 {} / max {} cycles",
+        r.read_latency.mean(),
+        r.read_latency.p50(),
+        r.read_latency.p95(),
+        r.read_latency.p99(),
+        r.read_latency.max()
+    );
+    println!("bit flips    : {}", r.bit_flips.len());
+}
+
+/// Executes a CLI invocation.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for unknown commands, bad flags, or I/O failures.
+pub fn dispatch(args: &[String]) -> Result<(), CliError> {
+    let Some(command) = args.first() else {
+        print_usage();
+        return Ok(());
+    };
+    let flags = Flags::parse(&args[1..])?;
+    match command.as_str() {
+        "run" => cmd_run(&flags),
+        "attack" => cmd_attack(&flags),
+        "sweep" => cmd_sweep(&flags),
+        "capture" => cmd_capture(&flags),
+        "replay" => cmd_replay(&flags),
+        "analyze" => cmd_analyze(&flags),
+        "help" | "--help" | "-h" => {
+            print_usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}").into()),
+    }
+}
+
+fn cmd_run(flags: &Flags) -> Result<(), CliError> {
+    let cfg = flags.experiment()?;
+    let name = flags.get("workload").unwrap_or("gcc");
+    // `--spec-file` extends the catalog with user-defined workloads.
+    let custom: Vec<rrs::workloads::WorkloadSpec> = match flags.get("spec-file") {
+        Some(path) => rrs::workloads::load_specs(path).map_err(|e| CliError(e.to_string()))?,
+        None => Vec::new(),
+    };
+    let spec = custom
+        .iter()
+        .find(|s| s.name == name)
+        .copied()
+        .or_else(|| spec_by_name(name))
+        .ok_or_else(|| CliError(format!("unknown workload {name:?}")))?;
+    let workload = Workload::Single(spec);
+    let kind = flags.defense()?;
+    let result = cfg.run_workload(&workload, kind);
+    print_run(&result);
+    if flags.has("baseline") {
+        let base = cfg.run_workload(&workload, MitigationKind::None);
+        println!("normalized   : {:.4}", result.normalized_to(&base));
+    }
+    Ok(())
+}
+
+fn cmd_attack(flags: &Flags) -> Result<(), CliError> {
+    let cfg = flags.experiment()?;
+    let attack = parse_attack(flags.get("pattern").unwrap_or("double-sided"), &cfg)?;
+    let kind = flags.defense()?;
+    let epochs = flags.get_num::<u64>("epochs")?.unwrap_or(2);
+    let outcome = cfg.run_attack(attack, kind, epochs);
+    print_run(&outcome.result);
+    println!(
+        "verdict      : {}",
+        if outcome.attack_succeeded() {
+            "ATTACK SUCCEEDED (bit flips observed)"
+        } else {
+            "defended"
+        }
+    );
+    Ok(())
+}
+
+fn cmd_sweep(flags: &Flags) -> Result<(), CliError> {
+    let cfg = flags.experiment()?;
+    let kind = flags.defense()?;
+    let pool = match flags.get("workloads").unwrap_or("table3") {
+        "all" => all_workloads(),
+        "table3" => table3_workloads(),
+        n => {
+            let count: usize = n
+                .parse()
+                .map_err(|_| CliError(format!("--workloads expects all|table3|N, got {n:?}")))?;
+            all_workloads().into_iter().take(count).collect()
+        }
+    };
+    println!("{:<14} {:>10} {:>12} {:>10}", "workload", "norm perf", "swaps/epoch", "flips");
+    let mut norms = Vec::new();
+    for w in &pool {
+        let base = cfg.run_workload(w, MitigationKind::None);
+        let r = cfg.run_workload(w, kind);
+        let norm = r.normalized_to(&base);
+        norms.push(norm);
+        println!(
+            "{:<14} {:>10.4} {:>12.1} {:>10}",
+            w.name(),
+            norm,
+            r.stats.mean_swaps_per_epoch(),
+            r.bit_flips.len()
+        );
+    }
+    println!(
+        "geomean slowdown: {:.2}%",
+        (1.0 - rrs::experiments::geomean(&norms)) * 100.0
+    );
+    Ok(())
+}
+
+fn cmd_capture(flags: &Flags) -> Result<(), CliError> {
+    let cfg = flags.experiment()?;
+    let name = flags.get("workload").unwrap_or("gcc");
+    let spec =
+        spec_by_name(name).ok_or_else(|| CliError(format!("unknown workload {name:?}")))?;
+    let records: usize = flags.get_num("records")?.unwrap_or(100_000);
+    let out = flags.get("out").unwrap_or("trace.rrst").to_string();
+    let sys = cfg.system_config();
+    let mapper = rrs::mem_ctrl::mapping::AddressMapper::new(sys.controller.geometry);
+    let mut generator = rrs::workloads::generator::SyntheticWorkload::new(
+        &spec,
+        0,
+        rrs::workloads::generator::GenParams::from_system(&sys),
+        &mapper,
+        cfg.seed,
+    );
+    let trace = rrs_trace::capture(&mut generator, records);
+    let format = if flags.has("text") {
+        rrs_trace::TraceFormat::Text
+    } else {
+        rrs_trace::TraceFormat::Binary
+    };
+    rrs_trace::save(&out, &trace, format).map_err(|e| CliError(e.to_string()))?;
+    println!("captured {} records of {} into {}", trace.len(), name, out);
+    Ok(())
+}
+
+fn cmd_replay(flags: &Flags) -> Result<(), CliError> {
+    let cfg = flags.experiment()?;
+    let path = flags
+        .get("trace")
+        .ok_or_else(|| CliError("replay requires --trace <file>".into()))?;
+    let records = rrs_trace::load(path).map_err(|e| CliError(e.to_string()))?;
+    if records.is_empty() {
+        return Err("trace file contains no records".into());
+    }
+    let kind = flags.defense()?;
+    let sys = cfg.system_config();
+    let sources: Vec<Box<dyn TraceSource>> = (0..sys.cores)
+        .map(|_| {
+            Box::new(rrs_trace::ReplaySource::new(records.clone(), path)) as Box<dyn TraceSource>
+        })
+        .collect();
+    let result = rrs::sim::run(&sys, cfg.build_mitigation(kind), sources, path);
+    print_run(&result);
+    Ok(())
+}
+
+fn cmd_analyze(flags: &Flags) -> Result<(), CliError> {
+    // `analyze table4` arrives as a switch (bare word after --?) — accept
+    // both `analyze table4` positional and `--what table4`.
+    let what = flags
+        .get("what")
+        .map(str::to_string)
+        .or_else(|| flags.switches.first().cloned())
+        .unwrap_or_else(|| "table4".into());
+    match what.as_str() {
+        "table4" | "attack-time" => {
+            let m = rrs::analysis::attack_model::AttackModel::asplos22();
+            println!("{:<8} {:>4} {:>14} {:>14}", "T_RRS", "k", "iterations", "years");
+            for row in m.table4() {
+                println!(
+                    "{:<8} {:>4} {:>14.3e} {:>14.1}",
+                    row.t, row.k, row.attack_iterations, row.years()
+                );
+            }
+        }
+        "table5" | "storage" => {
+            let t = rrs::analysis::storage::table5();
+            for r in &t.rows {
+                println!("{:<14} {:>8} bits x {:>6} = {:>7.1} KiB", r.structure, r.entry_bits, r.entries, r.kib_per_bank);
+            }
+            println!("total per bank: {:.1} KiB; per rank: {:.0} KiB", t.total_kib_per_bank(), t.total_kib_per_rank(16));
+        }
+        "duty-cycle" => {
+            let m = rrs::analysis::attack_model::AttackModel::asplos22();
+            for t in [400u64, 685, 800, 960, 1600] {
+                println!("T_RRS {:>5}: duty cycle {:.4}", t, m.duty_cycle(t));
+            }
+        }
+        other => return Err(format!("unknown analysis {other:?} (table4|table5|duty-cycle)").into()),
+    }
+    Ok(())
+}
+
+/// Prints the command reference.
+pub fn print_usage() {
+    println!(
+        "rrs — Randomized Row-Swap (ASPLOS 2022) reproduction CLI
+
+USAGE:
+    rrs <command> [flags]
+
+COMMANDS:
+    run      --workload <name> --defense <d> [--baseline]
+             [--spec-file <file>]                            benign workload run
+    attack   --pattern <p> --defense <d> [--epochs N]       attack campaign
+    sweep    --defense <d> [--workloads all|table3|N]       normalized-perf sweep
+    capture  --workload <name> --records N --out <file> [--text]
+    replay   --trace <file> --defense <d>                   replay a trace file
+    analyze  --what table4|table5|duty-cycle                analytic models
+    help
+
+SHARED FLAGS:
+    --scale N    time-scale factor (divides 800; default 32; 1 = paper scale)
+    --instr N    instructions per core
+    --t-rh N     full-scale Row Hammer threshold (default 4800)
+    --cores N    cores (default 8)
+    --seed N     experiment seed
+
+DEFENSES: none | rrs | bh-512 | bh-1k | vfm | graphene | para | prob-rrs
+ATTACKS : single-sided | double-sided | half-double | many-sided |
+          blacksmith | swap-chasing | dos | random"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn flags_parse_pairs_and_switches() {
+        let f = Flags::parse(&argv("--scale 100 --baseline --workload hmmer")).unwrap();
+        assert_eq!(f.get("scale"), Some("100"));
+        assert_eq!(f.get("workload"), Some("hmmer"));
+        assert!(f.has("baseline"));
+        assert!(!f.has("scale"));
+    }
+
+    #[test]
+    fn bad_flag_values_are_reported() {
+        let f = Flags::parse(&argv("--scale banana")).unwrap();
+        assert!(f.experiment().is_err());
+        let f = Flags::parse(&argv("--scale 7")).unwrap();
+        assert!(f.experiment().is_err(), "7 does not divide 800");
+    }
+
+    #[test]
+    fn positional_arguments_rejected() {
+        assert!(Flags::parse(&argv("oops")).is_err());
+    }
+
+    #[test]
+    fn defense_and_attack_names_resolve() {
+        for d in ["none", "rrs", "bh-512", "bh-1k", "vfm", "graphene", "para", "prob-rrs"] {
+            assert!(parse_defense(d).is_ok(), "{d}");
+        }
+        assert!(parse_defense("magic").is_err());
+        let cfg = ExperimentConfig::smoke_test();
+        for a in [
+            "single-sided",
+            "double-sided",
+            "half-double",
+            "many-sided",
+            "blacksmith",
+            "swap-chasing",
+            "dos",
+            "random",
+        ] {
+            assert!(parse_attack(a, &cfg).is_ok(), "{a}");
+        }
+        assert!(parse_attack("nope", &cfg).is_err());
+    }
+
+    #[test]
+    fn dispatch_rejects_unknown_commands() {
+        assert!(dispatch(&argv("frobnicate")).is_err());
+    }
+
+    #[test]
+    fn analyze_commands_print() {
+        for what in ["table4", "table5", "duty-cycle"] {
+            let args = vec!["analyze".to_string(), "--what".to_string(), what.to_string()];
+            dispatch(&args).unwrap();
+        }
+    }
+
+    #[test]
+    fn end_to_end_attack_command() {
+        let args = argv("attack --pattern double-sided --defense rrs --scale 200 --epochs 1");
+        dispatch(&args).unwrap();
+    }
+
+    #[test]
+    fn spec_file_workloads_run() {
+        let dir = std::env::temp_dir().join("rrs_cli_spec");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("custom.spec");
+        std::fs::write(&path, "workload tiny
+footprint_mb 64
+mpki 12
+").unwrap();
+        let cmd = format!(
+            "run --workload tiny --spec-file {} --scale 200 --instr 50000 --cores 2",
+            path.display()
+        );
+        dispatch(&argv(&cmd)).unwrap();
+        // Unknown name still errors, even with a spec file present.
+        let bad = format!(
+            "run --workload nope --spec-file {} --scale 200",
+            path.display()
+        );
+        assert!(dispatch(&argv(&bad)).is_err());
+    }
+
+    #[test]
+    fn capture_and_replay_round_trip() {
+        let dir = std::env::temp_dir().join("rrs_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cap.rrst");
+        let cap = format!(
+            "capture --workload gcc --records 5000 --scale 200 --out {}",
+            path.display()
+        );
+        dispatch(&argv(&cap)).unwrap();
+        let rep = format!(
+            "replay --trace {} --defense rrs --scale 200 --instr 20000 --cores 2",
+            path.display()
+        );
+        dispatch(&argv(&rep)).unwrap();
+    }
+}

@@ -1,0 +1,534 @@
+//! Collision Avoidance Table (CAT): a scalable, conflict-free associative
+//! structure (§6.1–6.2 of the paper, inspired by MIRAGE).
+//!
+//! A CAT stores up to a target capacity `C` of tagged entries across two
+//! set-associative tables indexed by *independent* keyed hashes (PRINCE with
+//! different keys). Each table has `S` sets of `D + E` ways, where
+//! `D = C / 2S` demand ways are provisioned for capacity and `E` extra ways
+//! absorb skew. Installs go to the less-loaded of the entry's two candidate
+//! sets; with `E = 6` extra ways the probability that both candidate sets
+//! are full before global capacity is reached is so small that the paper
+//! calls the structure conflict-free (Figure 9: ~10³⁰ installs). If a
+//! conflict nonetheless occurs, a single-depth Cuckoo relocation (moving one
+//! resident entry to its alternate set) resolves it, as in MIRAGE-Lite.
+//!
+//! The CAT never evicts on its own: capacity policy belongs to the client
+//! (the Misra-Gries tracker replaces its minimum-count entry; the RIT evicts
+//! a random unlocked tuple).
+
+use std::fmt;
+
+use crate::prince::Prince;
+
+/// Shape of a CAT.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CatConfig {
+    /// Sets per table (must be a power of two).
+    pub sets: usize,
+    /// Demand ways per set (`D`): `capacity = 2 * sets * demand_ways`.
+    pub demand_ways: usize,
+    /// Extra ways per set (`E`) for conflict avoidance; the paper uses 6.
+    pub extra_ways: usize,
+    /// Seed from which the two table hash keys are derived.
+    pub hash_seed: u128,
+}
+
+impl CatConfig {
+    /// The paper's RIT shape: 2 tables × 256 sets × 20 ways
+    /// (≈14 demand + 6 extra), target capacity 6800 entries (§6.3).
+    pub fn rit_asplos22() -> Self {
+        CatConfig {
+            sets: 256,
+            demand_ways: 14,
+            extra_ways: 6,
+            hash_seed: 0x5249_5400_CA7C_A700, // "RIT" tagged seed
+        }
+    }
+
+    /// The paper's tracker shape: 2 tables × 64 sets × 20 ways (§6.4),
+    /// target capacity 1700 entries.
+    pub fn tracker_asplos22() -> Self {
+        CatConfig {
+            sets: 64,
+            demand_ways: 14,
+            extra_ways: 6,
+            hash_seed: 0x5452_4143_4b45_5200, // "TRACKER" tagged seed
+        }
+    }
+
+    /// Smallest power-of-two-set CAT that holds `capacity` entries with at
+    /// most `max_demand_ways` demand ways per set, plus `extra_ways`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` or `max_demand_ways` is zero.
+    pub fn for_capacity(capacity: usize, max_demand_ways: usize, extra_ways: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        assert!(max_demand_ways > 0, "demand ways must be positive");
+        let mut sets = 1usize;
+        while 2 * sets * max_demand_ways < capacity {
+            sets *= 2;
+        }
+        let demand_ways = capacity.div_ceil(2 * sets);
+        CatConfig {
+            sets,
+            demand_ways,
+            extra_ways,
+            hash_seed: 0xCA7_CA7,
+        }
+    }
+
+    /// Total ways per set (`D + E`).
+    pub fn ways(&self) -> usize {
+        self.demand_ways + self.extra_ways
+    }
+
+    /// Target capacity `C = 2 * S * D`.
+    pub fn capacity(&self) -> usize {
+        2 * self.sets * self.demand_ways
+    }
+
+    /// Total physical slots `2 * S * (D + E)`.
+    pub fn slots(&self) -> usize {
+        2 * self.sets * self.ways()
+    }
+
+    /// Overrides the hash seed (used to make structures independent).
+    pub fn with_seed(mut self, seed: u128) -> Self {
+        self.hash_seed = seed;
+        self
+    }
+}
+
+/// Error returned when an install finds both candidate sets full and Cuckoo
+/// relocation cannot free a slot — the event Figure 9 shows to be
+/// astronomically rare with 6 extra ways.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CatConflict {
+    /// The tag that could not be installed.
+    pub tag: u64,
+}
+
+impl fmt::Display for CatConflict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CAT conflict: both candidate sets full for tag {:#x}", self.tag)
+    }
+}
+
+impl std::error::Error for CatConflict {}
+
+#[derive(Debug, Clone)]
+struct Slot<V> {
+    tag: u64,
+    value: V,
+}
+
+/// Location of an entry inside the CAT: `(table, set, way)`.
+pub type SlotIndex = (usize, usize, usize);
+
+/// The Collision Avoidance Table.
+///
+/// # Example
+///
+/// ```
+/// use rrs_core::cat::{Cat, CatConfig};
+///
+/// let mut cat: Cat<u32> = Cat::new(CatConfig::tracker_asplos22());
+/// cat.insert(0x1234, 7)?;
+/// assert_eq!(cat.get(0x1234), Some(&7));
+/// *cat.get_mut(0x1234).unwrap() += 1;
+/// assert_eq!(cat.remove(0x1234), Some(8));
+/// # Ok::<(), rrs_core::cat::CatConflict>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cat<V> {
+    config: CatConfig,
+    hashers: [Prince; 2],
+    /// `tables[t][set * ways + way]`.
+    tables: [Vec<Option<Slot<V>>>; 2],
+    len: usize,
+    /// Lifetime count of installs that needed Cuckoo relocation.
+    relocations: u64,
+}
+
+impl<V> Cat<V> {
+    /// Creates an empty CAT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.sets` is not a power of two.
+    pub fn new(config: CatConfig) -> Self {
+        assert!(
+            config.sets.is_power_of_two(),
+            "CAT sets must be a power of two"
+        );
+        let slots_per_table = config.sets * config.ways();
+        let mut t0 = Vec::with_capacity(slots_per_table);
+        let mut t1 = Vec::with_capacity(slots_per_table);
+        t0.resize_with(slots_per_table, || None);
+        t1.resize_with(slots_per_table, || None);
+        Cat {
+            config,
+            hashers: [
+                Prince::new(config.hash_seed ^ 0x0123_4567_89ab_cdef),
+                Prince::new(config.hash_seed ^ 0xfedc_ba98_7654_3210_0000_0000_0000_0001),
+            ],
+            tables: [t0, t1],
+            len: 0,
+            relocations: 0,
+        }
+    }
+
+    /// The configuration this CAT was built with.
+    pub fn config(&self) -> &CatConfig {
+        &self.config
+    }
+
+    /// Number of valid entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the CAT holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Target capacity (demand slots).
+    pub fn capacity(&self) -> usize {
+        self.config.capacity()
+    }
+
+    /// Lifetime count of installs that required a Cuckoo relocation.
+    pub fn relocations(&self) -> u64 {
+        self.relocations
+    }
+
+    /// Set index of `tag` in table `t`.
+    pub fn set_of(&self, table: usize, tag: u64) -> usize {
+        (self.hashers[table].encrypt(tag) as usize) & (self.config.sets - 1)
+    }
+
+    fn slot_range(&self, set: usize) -> std::ops::Range<usize> {
+        let w = self.config.ways();
+        set * w..(set + 1) * w
+    }
+
+    fn find(&self, tag: u64) -> Option<SlotIndex> {
+        for t in 0..2 {
+            let set = self.set_of(t, tag);
+            for way in 0..self.config.ways() {
+                let idx = set * self.config.ways() + way;
+                if let Some(s) = &self.tables[t][idx] {
+                    if s.tag == tag {
+                        return Some((t, set, way));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Whether `tag` is present.
+    pub fn contains(&self, tag: u64) -> bool {
+        self.find(tag).is_some()
+    }
+
+    /// Location `(table, set, way)` of `tag`, if present. Clients that
+    /// maintain per-set metadata (the tracker's SetMin counters, §6.4) use
+    /// this to know which set an update touched.
+    pub fn locate(&self, tag: u64) -> Option<SlotIndex> {
+        self.find(tag)
+    }
+
+    /// Shared reference to the value stored for `tag`.
+    pub fn get(&self, tag: u64) -> Option<&V> {
+        self.find(tag).map(|(t, set, way)| {
+            let idx = set * self.config.ways() + way;
+            &self.tables[t][idx].as_ref().unwrap().value
+        })
+    }
+
+    /// Exclusive reference to the value stored for `tag`.
+    pub fn get_mut(&mut self, tag: u64) -> Option<&mut V> {
+        let (t, set, way) = self.find(tag)?;
+        let idx = set * self.config.ways() + way;
+        Some(&mut self.tables[t][idx].as_mut().unwrap().value)
+    }
+
+    fn invalid_ways_in(&self, table: usize, set: usize) -> usize {
+        self.slot_range(set)
+            .filter(|&i| self.tables[table][i].is_none())
+            .count()
+    }
+
+    /// Installs `tag -> value`, choosing the less-loaded of its two
+    /// candidate sets (§6.1). Does **not** enforce the capacity target —
+    /// capacity policy is the caller's (evict first, then install).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CatConflict`] if both candidate sets are physically full
+    /// and single-depth Cuckoo relocation cannot make room.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `tag` is already present (callers must use
+    /// [`Cat::get_mut`] to update existing entries).
+    pub fn insert(&mut self, tag: u64, value: V) -> Result<SlotIndex, CatConflict> {
+        debug_assert!(!self.contains(tag), "duplicate CAT install of {tag:#x}");
+        let s0 = self.set_of(0, tag);
+        let s1 = self.set_of(1, tag);
+        let inv0 = self.invalid_ways_in(0, s0);
+        let inv1 = self.invalid_ways_in(1, s1);
+        let (table, set) = if inv0 >= inv1 { (0, s0) } else { (1, s1) };
+        if inv0 == 0 && inv1 == 0 {
+            // Conflict: attempt single-depth Cuckoo relocation à la
+            // MIRAGE-Lite: move one resident of either candidate set to its
+            // alternate set in the other table.
+            if let Some((t, set)) = self.try_relocate(s0, s1) {
+                self.relocations += 1;
+                return Ok(self.place(t, set, tag, value));
+            }
+            return Err(CatConflict { tag });
+        }
+        Ok(self.place(table, set, tag, value))
+    }
+
+    fn try_relocate(&mut self, s0: usize, s1: usize) -> Option<(usize, usize)> {
+        for (t, set) in [(0, s0), (1, s1)] {
+            let other = 1 - t;
+            for i in self.slot_range(set) {
+                let resident_tag = match &self.tables[t][i] {
+                    Some(s) => s.tag,
+                    None => continue,
+                };
+                let alt_set = self.set_of(other, resident_tag);
+                if self.invalid_ways_in(other, alt_set) > 0 {
+                    let slot = self.tables[t][i].take().unwrap();
+                    self.len -= 1;
+                    self.place(other, alt_set, slot.tag, slot.value);
+                    return Some((t, set));
+                }
+            }
+        }
+        None
+    }
+
+    fn place(&mut self, table: usize, set: usize, tag: u64, value: V) -> SlotIndex {
+        for way in 0..self.config.ways() {
+            let idx = set * self.config.ways() + way;
+            if self.tables[table][idx].is_none() {
+                self.tables[table][idx] = Some(Slot { tag, value });
+                self.len += 1;
+                return (table, set, way);
+            }
+        }
+        unreachable!("place() called on a full set");
+    }
+
+    /// Removes `tag`, returning its value.
+    pub fn remove(&mut self, tag: u64) -> Option<V> {
+        let (t, set, way) = self.find(tag)?;
+        let idx = set * self.config.ways() + way;
+        let slot = self.tables[t][idx].take().unwrap();
+        self.len -= 1;
+        Some(slot.value)
+    }
+
+    /// Removes every entry.
+    pub fn clear(&mut self) {
+        for t in &mut self.tables {
+            for s in t.iter_mut() {
+                *s = None;
+            }
+        }
+        self.len = 0;
+    }
+
+    /// Iterates over `(tag, &value)` in an arbitrary but deterministic order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &V)> + '_ {
+        self.tables
+            .iter()
+            .flat_map(|t| t.iter())
+            .filter_map(|s| s.as_ref().map(|s| (s.tag, &s.value)))
+    }
+
+    /// Iterates over the entries of one set of one table.
+    pub fn set_iter(&self, table: usize, set: usize) -> impl Iterator<Item = (u64, &V)> + '_ {
+        self.slot_range(set)
+            .filter_map(move |i| self.tables[table][i].as_ref().map(|s| (s.tag, &s.value)))
+    }
+
+    /// Picks the `n`-th valid entry in slot order, wrapping around; `None`
+    /// when empty. Combined with a random `n` this implements the random
+    /// eviction candidate selection of §6.1.
+    pub fn nth_entry(&self, n: usize) -> Option<(u64, &V)> {
+        if self.len == 0 {
+            return None;
+        }
+        self.iter().nth(n % self.len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cat<u32> {
+        Cat::new(CatConfig {
+            sets: 8,
+            demand_ways: 2,
+            extra_ways: 2,
+            hash_seed: 12345,
+        })
+    }
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let mut cat = small();
+        assert!(cat.insert(100, 7).is_ok());
+        assert_eq!(cat.get(100), Some(&7));
+        *cat.get_mut(100).unwrap() = 9;
+        assert_eq!(cat.remove(100), Some(9));
+        assert!(cat.get(100).is_none());
+        assert!(cat.is_empty());
+    }
+
+    #[test]
+    fn fills_to_physical_slots_without_conflict_mostly() {
+        // With power-of-two-choices balancing, a small CAT comfortably holds
+        // its demand capacity.
+        let mut cat = small();
+        let cap = cat.capacity();
+        for tag in 0..cap as u64 {
+            cat.insert(tag, 0).expect("demand-capacity install conflicted");
+        }
+        assert_eq!(cat.len(), cap);
+    }
+
+    #[test]
+    fn conflict_is_reported_when_truly_full() {
+        let mut cat: Cat<u32> = Cat::new(CatConfig {
+            sets: 1,
+            demand_ways: 1,
+            extra_ways: 0,
+            hash_seed: 1,
+        });
+        // Only 2 physical slots exist (1 set × 1 way × 2 tables).
+        cat.insert(1, 0).unwrap();
+        cat.insert(2, 0).unwrap();
+        let err = cat.insert(3, 0).unwrap_err();
+        assert_eq!(err.tag, 3);
+        assert!(err.to_string().contains("conflict"));
+    }
+
+    #[test]
+    fn lookup_misses_return_none() {
+        let cat = small();
+        assert_eq!(cat.get(42), None);
+        assert!(!cat.contains(42));
+    }
+
+    #[test]
+    fn iter_sees_all_entries() {
+        let mut cat = small();
+        for tag in 0..10u64 {
+            cat.insert(tag, tag as u32 * 2).unwrap();
+        }
+        let mut items: Vec<_> = cat.iter().map(|(t, &v)| (t, v)).collect();
+        items.sort();
+        assert_eq!(items.len(), 10);
+        assert_eq!(items[3], (3, 6));
+    }
+
+    #[test]
+    fn nth_entry_wraps() {
+        let mut cat = small();
+        cat.insert(5, 50).unwrap();
+        assert_eq!(cat.nth_entry(0).unwrap().0, 5);
+        assert_eq!(cat.nth_entry(7).unwrap().0, 5);
+        let empty = small();
+        assert!(empty.nth_entry(0).is_none());
+    }
+
+    #[test]
+    fn hashes_differ_between_tables() {
+        let cat = small();
+        // For a random tag population the two indices must not be identical
+        // everywhere (independent hashes).
+        let diff = (0..64u64)
+            .filter(|&t| cat.set_of(0, t) != cat.set_of(1, t))
+            .count();
+        assert!(diff > 32, "only {diff}/64 tags had distinct indices");
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let mut cat = small();
+        for tag in 0..6u64 {
+            cat.insert(tag, 0).unwrap();
+        }
+        cat.clear();
+        assert!(cat.is_empty());
+        assert!(!cat.contains(3));
+    }
+
+    #[test]
+    fn for_capacity_builds_adequate_shape() {
+        let cfg = CatConfig::for_capacity(1700, 14, 6);
+        assert!(cfg.capacity() >= 1700);
+        assert!(cfg.sets.is_power_of_two());
+        assert!(cfg.demand_ways <= 14);
+        assert_eq!(cfg.extra_ways, 6);
+
+        let rit = CatConfig::for_capacity(6800, 14, 6);
+        assert!(rit.capacity() >= 6800);
+    }
+
+    #[test]
+    fn paper_shapes_match_section6() {
+        let t = CatConfig::tracker_asplos22();
+        assert_eq!((t.sets, t.ways()), (64, 20));
+        assert!(t.capacity() >= 1700);
+        let r = CatConfig::rit_asplos22();
+        assert_eq!((r.sets, r.ways()), (256, 20));
+        assert!(r.capacity() >= 6800);
+        // Total slot counts match Table 5: 2x64x20 and 2x256x20.
+        assert_eq!(t.slots(), 2 * 64 * 20);
+        assert_eq!(r.slots(), 2 * 256 * 20);
+    }
+
+    #[test]
+    fn cuckoo_relocation_rescues_conflicts() {
+        // Tiny CAT where conflicts are easy to hit: verify that when insert
+        // succeeds after both sets were full, a relocation was performed.
+        let mut cat: Cat<u32> = Cat::new(CatConfig {
+            sets: 2,
+            demand_ways: 1,
+            extra_ways: 0,
+            hash_seed: 3,
+        });
+        let mut installed = 0u64;
+        for tag in 0..1000u64 {
+            match cat.insert(tag, 0) {
+                Ok(_) => installed += 1,
+                Err(_) => break,
+            }
+        }
+        // 4 physical slots; we can never hold more than 4.
+        assert!(installed <= 4);
+        assert_eq!(cat.len() as u64, installed);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_sets_panics() {
+        let _: Cat<u32> = Cat::new(CatConfig {
+            sets: 3,
+            demand_ways: 1,
+            extra_ways: 0,
+            hash_seed: 0,
+        });
+    }
+}

@@ -1,0 +1,186 @@
+//! Swap engine: performs and accounts row-swap operations (§4.4).
+//!
+//! Each channel is equipped with two row-sized SRAM swap buffers. Swapping
+//! rows X and Y streams X→Buffer1, Y→Buffer2, Buffer1→Y, Buffer2→X — four
+//! row transfers of ≈365 ns each, ≈1.46 µs per swap, during which the
+//! channel can serve no other request. The engine also supports the
+//! RowClone-accelerated variant discussed in §8.1, which replaces the
+//! buffered streaming with in-DRAM row copies.
+
+use rrs_dram::timing::{Cycle, TimingParams};
+
+/// How row contents are physically exchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SwapMode {
+    /// Stream through per-channel SRAM swap buffers (the paper's design).
+    #[default]
+    Buffered,
+    /// RowClone-style in-DRAM copy (§8.1: "DRAM-based techniques for faster
+    /// copying of rows, such as RowClone, which could considerably reduce
+    /// the row-swap latency"). Modeled as one row-cycle per transfer.
+    RowClone,
+}
+
+/// Statistics of one swap engine (one channel).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SwapStats {
+    /// Completed row swaps (including re-swaps).
+    pub swaps: u64,
+    /// Un-swaps caused by RIT evictions.
+    pub unswaps: u64,
+    /// Total channel-blocking cycles spent swapping.
+    pub busy_cycles: Cycle,
+    /// Swaps in the current epoch.
+    pub epoch_swaps: u64,
+}
+
+/// The per-channel swap engine: latency model and accounting.
+#[derive(Debug, Clone)]
+pub struct SwapEngine {
+    mode: SwapMode,
+    swap_cost: Cycle,
+    stats: SwapStats,
+    busy_until: Cycle,
+}
+
+impl SwapEngine {
+    /// Creates an engine for rows of `row_bytes` under `timing`.
+    pub fn new(timing: &TimingParams, row_bytes: usize, mode: SwapMode) -> Self {
+        let swap_cost = match mode {
+            SwapMode::Buffered => timing.row_swap_cycles(row_bytes),
+            // Four in-DRAM copies, each bounded by one row cycle.
+            SwapMode::RowClone => 4 * timing.t_rc,
+        };
+        SwapEngine {
+            mode,
+            swap_cost,
+            stats: SwapStats::default(),
+            busy_until: 0,
+        }
+    }
+
+    /// The configured exchange mechanism.
+    pub fn mode(&self) -> SwapMode {
+        self.mode
+    }
+
+    /// Channel-blocking cycles of one swap operation.
+    pub fn swap_cost(&self) -> Cycle {
+        self.swap_cost
+    }
+
+    /// Cycle until which the channel is blocked by in-flight swaps.
+    pub fn busy_until(&self) -> Cycle {
+        self.busy_until
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> SwapStats {
+        self.stats
+    }
+
+    /// Records one swap starting no earlier than `now`; returns the cycle
+    /// at which the channel becomes free again.
+    pub fn record_swap(&mut self, now: Cycle) -> Cycle {
+        self.stats.swaps += 1;
+        self.stats.epoch_swaps += 1;
+        self.block(now)
+    }
+
+    /// Records one un-swap (RIT eviction) starting no earlier than `now`.
+    pub fn record_unswap(&mut self, now: Cycle) -> Cycle {
+        self.stats.unswaps += 1;
+        self.block(now)
+    }
+
+    fn block(&mut self, now: Cycle) -> Cycle {
+        let start = now.max(self.busy_until);
+        self.busy_until = start + self.swap_cost;
+        self.stats.busy_cycles += self.swap_cost;
+        self.busy_until
+    }
+
+    /// Resets the per-epoch swap counter, returning the epoch's count.
+    pub fn end_epoch(&mut self) -> u64 {
+        std::mem::take(&mut self.stats.epoch_swaps)
+    }
+
+    /// Fraction of `elapsed` cycles spent swapping (1 − duty cycle term).
+    pub fn busy_fraction(&self, elapsed: Cycle) -> f64 {
+        if elapsed == 0 {
+            0.0
+        } else {
+            self.stats.busy_cycles as f64 / elapsed as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timing() -> TimingParams {
+        TimingParams::ddr4_3200()
+    }
+
+    #[test]
+    fn buffered_swap_costs_about_1_46us() {
+        let e = SwapEngine::new(&timing(), 8 * 1024, SwapMode::Buffered);
+        let us = timing().cycles_to_ns(e.swap_cost()) / 1000.0;
+        assert!((1.4..1.5).contains(&us), "swap = {us} µs");
+    }
+
+    #[test]
+    fn rowclone_is_much_faster() {
+        let buffered = SwapEngine::new(&timing(), 8 * 1024, SwapMode::Buffered);
+        let rowclone = SwapEngine::new(&timing(), 8 * 1024, SwapMode::RowClone);
+        assert!(rowclone.swap_cost() * 4 < buffered.swap_cost());
+    }
+
+    #[test]
+    fn swaps_serialize_on_the_channel() {
+        let mut e = SwapEngine::new(&timing(), 8 * 1024, SwapMode::Buffered);
+        let f1 = e.record_swap(0);
+        let f2 = e.record_swap(0); // requested while busy
+        assert_eq!(f2, f1 + e.swap_cost());
+        assert_eq!(e.stats().swaps, 2);
+        assert_eq!(e.stats().busy_cycles, 2 * e.swap_cost());
+    }
+
+    #[test]
+    fn swap_plus_unswap_costs_about_2_9us() {
+        let mut e = SwapEngine::new(&timing(), 8 * 1024, SwapMode::Buffered);
+        e.record_swap(0);
+        let free = e.record_unswap(0);
+        let us = timing().cycles_to_ns(free) / 1000.0;
+        assert!((2.8..3.0).contains(&us), "swap+unswap = {us} µs");
+        assert_eq!(e.stats().unswaps, 1);
+    }
+
+    #[test]
+    fn epoch_counter_resets_but_totals_persist() {
+        let mut e = SwapEngine::new(&timing(), 8 * 1024, SwapMode::Buffered);
+        e.record_swap(0);
+        e.record_swap(0);
+        assert_eq!(e.end_epoch(), 2);
+        assert_eq!(e.stats().epoch_swaps, 0);
+        assert_eq!(e.stats().swaps, 2);
+    }
+
+    #[test]
+    fn busy_fraction_matches_duty_cycle_model() {
+        // §5.3.1: at T=800, swapping every T activations keeps the bank busy
+        // 2.9 µs per 800 * 45 ns = 36 µs -> duty cycle ≈ 0.925.
+        let t = timing();
+        let mut e = SwapEngine::new(&t, 8 * 1024, SwapMode::Buffered);
+        let rounds = 100u64;
+        let mut now = 0;
+        for _ in 0..rounds {
+            now += 800 * t.t_rc; // attacker hammers T activations
+            now = e.record_swap(now);
+            now = e.record_unswap(now);
+        }
+        let duty = 1.0 - e.busy_fraction(now);
+        assert!((0.90..0.95).contains(&duty), "duty cycle = {duty}");
+    }
+}

@@ -1,0 +1,227 @@
+//! Property-based tests (proptest) for the core RRS structures: the
+//! invariants §5.2 relies on must hold for *arbitrary* access sequences,
+//! not just the ones unit tests pick.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+use rrs_core::cat::{Cat, CatConfig};
+use rrs_core::prince::Prince;
+use rrs_core::prng::PrinceCtrRng;
+use rrs_core::rit::RowIndirectionTable;
+use rrs_core::tracker::{CamTracker, CatTracker, HotRowTracker, TrackerConfig};
+
+proptest! {
+    /// PRINCE is a permutation: decrypt inverts encrypt for any key/block.
+    #[test]
+    fn prince_round_trip(key in any::<u128>(), block in any::<u64>()) {
+        let cipher = Prince::new(key);
+        prop_assert_eq!(cipher.decrypt(cipher.encrypt(block)), block);
+    }
+
+    /// PRINCE is injective on distinct blocks under one key.
+    #[test]
+    fn prince_injective(key in any::<u128>(), a in any::<u64>(), b in any::<u64>()) {
+        prop_assume!(a != b);
+        let cipher = Prince::new(key);
+        prop_assert_ne!(cipher.encrypt(a), cipher.encrypt(b));
+    }
+
+    /// The CTR PRNG's bounded draw is always in range, for any bound.
+    #[test]
+    fn prng_bounded_draws(key in any::<u128>(), bound in 1u64..u64::MAX, n in 1usize..50) {
+        let mut rng = PrinceCtrRng::new(key);
+        for _ in 0..n {
+            prop_assert!(rng.next_below(bound) < bound);
+        }
+    }
+}
+
+/// Operations for the CAT model-based test.
+#[derive(Debug, Clone)]
+enum CatOp {
+    Insert(u16, u32),
+    Remove(u16),
+    Lookup(u16),
+}
+
+fn cat_op() -> impl Strategy<Value = CatOp> {
+    prop_oneof![
+        (any::<u16>(), any::<u32>()).prop_map(|(t, v)| CatOp::Insert(t, v)),
+        any::<u16>().prop_map(CatOp::Remove),
+        any::<u16>().prop_map(CatOp::Lookup),
+    ]
+}
+
+proptest! {
+    /// Model-based: the CAT behaves exactly like a HashMap for any op
+    /// sequence that stays within capacity (inserts that conflict are
+    /// removed from the model too, so the two stay in lockstep).
+    #[test]
+    fn cat_matches_hashmap_model(ops in vec(cat_op(), 1..200)) {
+        let mut cat: Cat<u32> = Cat::new(CatConfig {
+            sets: 16,
+            demand_ways: 4,
+            extra_ways: 4,
+            hash_seed: 0xC0FFEE,
+        });
+        let mut model: HashMap<u64, u32> = HashMap::new();
+        for op in ops {
+            match op {
+                CatOp::Insert(tag, value) => {
+                    let tag = tag as u64;
+                    if !model.contains_key(&tag) && model.len() < cat.capacity()
+                        && cat.insert(tag, value).is_ok() {
+                            model.insert(tag, value);
+                        }
+                }
+                CatOp::Remove(tag) => {
+                    let tag = tag as u64;
+                    prop_assert_eq!(cat.remove(tag), model.remove(&tag));
+                }
+                CatOp::Lookup(tag) => {
+                    let tag = tag as u64;
+                    prop_assert_eq!(cat.get(tag), model.get(&tag));
+                }
+            }
+            prop_assert_eq!(cat.len(), model.len());
+        }
+    }
+
+    /// Misra-Gries over-estimation: a tracked row's counter is always at
+    /// least its true count minus nothing — i.e. `estimate >= true` —
+    /// for any access sequence (Invariant 1's foundation).
+    #[test]
+    fn tracker_never_underestimates(rows in vec(0u64..64, 1..400)) {
+        let mut tracker = CatTracker::new(TrackerConfig { entries: 8, threshold: 1_000 });
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for row in rows {
+            *truth.entry(row).or_insert(0) += 1;
+            tracker.record_access(row);
+            if let Some(est) = tracker.count_of(row) {
+                prop_assert!(
+                    est >= truth[&row],
+                    "row {} estimated {} < true {}", row, est, truth[&row]
+                );
+            }
+        }
+    }
+
+    /// Misra-Gries detection guarantee (Invariant 1): with N >= W/T
+    /// entries, any row that truly reaches T accesses within a W-access
+    /// window fires `swap_due` at least once.
+    #[test]
+    fn tracker_guaranteed_detection(
+        seed in any::<u64>(),
+        hot_row in 0u64..1_000,
+        noise_rows in 1_001u64..2_000,
+    ) {
+        let w = 600u64;
+        let t = 30u64;
+        let cfg = TrackerConfig::for_window(w, t);
+        let mut tracker = CatTracker::new(cfg);
+        let mut fired = false;
+        let mut hot_done = 0u64;
+        let mut x = seed;
+        for i in 0..w {
+            // Interleave exactly T hot accesses among noise.
+            if i % (w / t) == 0 && hot_done < t {
+                hot_done += 1;
+                fired |= tracker.record_access(hot_row).swap_due;
+            } else {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                tracker.record_access(noise_rows + (x >> 40));
+            }
+        }
+        prop_assert_eq!(hot_done, t);
+        prop_assert!(fired, "hot row reached T accesses without detection");
+    }
+
+    /// CAM and CAT trackers agree on hot-row counts for arbitrary streams.
+    #[test]
+    fn cam_and_cat_trackers_agree(rows in vec(0u64..32, 1..500)) {
+        let cfg = TrackerConfig { entries: 12, threshold: 50 };
+        let mut cam = CamTracker::new(cfg);
+        let mut cat = CatTracker::new(cfg);
+        for &row in &rows {
+            cam.record_access(row);
+            cat.record_access(row);
+        }
+        prop_assert_eq!(cam.spill(), cat.spill());
+        prop_assert_eq!(cam.len(), cat.len());
+        // Rows present in both have identical counts.
+        for row in 0u64..32 {
+            if let (Some(a), Some(b)) = (cam.count_of(row), cat.count_of(row)) {
+                prop_assert_eq!(a, b, "row {} counts diverge", row);
+            }
+        }
+    }
+}
+
+/// Operations for the RIT permutation test.
+#[derive(Debug, Clone)]
+enum RitOp {
+    Swap(u8, u8),
+    Unswap(u8),
+    Evict(u64),
+    EndEpoch,
+}
+
+fn rit_op() -> impl Strategy<Value = RitOp> {
+    prop_oneof![
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| RitOp::Swap(a, b)),
+        any::<u8>().prop_map(RitOp::Unswap),
+        any::<u64>().prop_map(RitOp::Evict),
+        Just(RitOp::EndEpoch),
+    ]
+}
+
+proptest! {
+    /// The RIT is always a permutation: after any operation sequence,
+    /// forward/reverse maps stay mutually consistent, injective, and free
+    /// of identity entries — and resolution round-trips.
+    #[test]
+    fn rit_is_always_a_permutation(ops in vec(rit_op(), 1..150)) {
+        let mut rit = RowIndirectionTable::new(64, 0xFACE);
+        for op in ops {
+            match op {
+                RitOp::Swap(a, b) => {
+                    if a != b && rit.tuples_in_use() + 2 <= rit.tuple_capacity() {
+                        let _ = rit.swap(a as u64, b as u64);
+                    }
+                }
+                RitOp::Unswap(a) => {
+                    if rit.is_displaced(a as u64) {
+                        let _ = rit.unswap(a as u64);
+                    }
+                }
+                RitOp::Evict(pick) => {
+                    let _ = rit.evict_one(pick);
+                }
+                RitOp::EndEpoch => rit.end_epoch(),
+            }
+            rit.check_invariants();
+            // Round-trip: occupant(resolve(x)) == x for mapped rows.
+            for (logical, physical) in rit.iter().collect::<Vec<_>>() {
+                prop_assert_eq!(rit.occupant(physical), logical);
+                prop_assert_eq!(rit.resolve(logical), physical);
+            }
+        }
+    }
+
+    /// Locked entries (current-epoch swaps) survive arbitrary eviction
+    /// pressure within the same epoch.
+    #[test]
+    fn rit_locked_entries_survive_evictions(picks in vec(any::<u64>(), 1..50)) {
+        let mut rit = RowIndirectionTable::new(16, 0xBEE);
+        rit.swap(1, 2).unwrap();
+        rit.swap(3, 4).unwrap();
+        let mapped_before: HashSet<(u64, u64)> = rit.iter().collect();
+        for pick in picks {
+            let _ = rit.evict_one(pick);
+        }
+        let mapped_after: HashSet<(u64, u64)> = rit.iter().collect();
+        prop_assert_eq!(mapped_before, mapped_after, "locked tuples were evicted");
+    }
+}

@@ -1,0 +1,158 @@
+//! DDR command vocabulary and per-command accounting.
+//!
+//! The power model ([`crate::power`]) and the paper's Table 6 are driven by
+//! command counts, so the bank/controller layers record every command they
+//! issue into a [`CommandCounts`].
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// A DDR command, as issued by the memory controller to a bank or rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DramCommand {
+    /// Activate a row into the bank's row buffer.
+    Activate,
+    /// Precharge (close) the open row.
+    Precharge,
+    /// Column read from the open row.
+    Read,
+    /// Column write to the open row.
+    Write,
+    /// Per-rank auto-refresh (one `tREFI` slot, busy for `tRFC`).
+    Refresh,
+    /// Targeted single-row refresh issued by a mitigation
+    /// (victim-focused defenses; internally an ACT+PRE of the victim row).
+    TargetedRefresh,
+    /// Row transfer between DRAM and a swap buffer (RRS swaps; internally a
+    /// streaming ACT + 128 column accesses).
+    SwapTransfer,
+}
+
+impl fmt::Display for DramCommand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DramCommand::Activate => "ACT",
+            DramCommand::Precharge => "PRE",
+            DramCommand::Read => "RD",
+            DramCommand::Write => "WR",
+            DramCommand::Refresh => "REF",
+            DramCommand::TargetedRefresh => "TREF",
+            DramCommand::SwapTransfer => "SWAPX",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Counts of every command class issued, the input to the power model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommandCounts {
+    /// ACT commands issued.
+    pub activates: u64,
+    /// PRE commands issued.
+    pub precharges: u64,
+    /// Column reads issued.
+    pub reads: u64,
+    /// Column writes issued.
+    pub writes: u64,
+    /// Per-rank refresh commands issued.
+    pub refreshes: u64,
+    /// Mitigation-issued single-row refreshes.
+    pub targeted_refreshes: u64,
+    /// Row transfers for swap operations.
+    pub swap_transfers: u64,
+}
+
+impl CommandCounts {
+    /// An empty counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one command.
+    pub fn record(&mut self, cmd: DramCommand) {
+        match cmd {
+            DramCommand::Activate => self.activates += 1,
+            DramCommand::Precharge => self.precharges += 1,
+            DramCommand::Read => self.reads += 1,
+            DramCommand::Write => self.writes += 1,
+            DramCommand::Refresh => self.refreshes += 1,
+            DramCommand::TargetedRefresh => self.targeted_refreshes += 1,
+            DramCommand::SwapTransfer => self.swap_transfers += 1,
+        }
+    }
+
+    /// Total commands of all classes.
+    pub fn total(&self) -> u64 {
+        self.activates
+            + self.precharges
+            + self.reads
+            + self.writes
+            + self.refreshes
+            + self.targeted_refreshes
+            + self.swap_transfers
+    }
+
+    /// Column accesses (reads + writes).
+    pub fn column_accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+impl Add for CommandCounts {
+    type Output = CommandCounts;
+    fn add(mut self, rhs: CommandCounts) -> CommandCounts {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for CommandCounts {
+    fn add_assign(&mut self, rhs: CommandCounts) {
+        self.activates += rhs.activates;
+        self.precharges += rhs.precharges;
+        self.reads += rhs.reads;
+        self.writes += rhs.writes;
+        self.refreshes += rhs.refreshes;
+        self.targeted_refreshes += rhs.targeted_refreshes;
+        self.swap_transfers += rhs.swap_transfers;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_total() {
+        let mut c = CommandCounts::new();
+        c.record(DramCommand::Activate);
+        c.record(DramCommand::Activate);
+        c.record(DramCommand::Read);
+        c.record(DramCommand::Refresh);
+        assert_eq!(c.activates, 2);
+        assert_eq!(c.reads, 1);
+        assert_eq!(c.total(), 4);
+        assert_eq!(c.column_accesses(), 1);
+    }
+
+    #[test]
+    fn add_is_componentwise() {
+        let mut a = CommandCounts::new();
+        a.record(DramCommand::Write);
+        a.record(DramCommand::SwapTransfer);
+        let mut b = CommandCounts::new();
+        b.record(DramCommand::Write);
+        b.record(DramCommand::TargetedRefresh);
+        let c = a + b;
+        assert_eq!(c.writes, 2);
+        assert_eq!(c.swap_transfers, 1);
+        assert_eq!(c.targeted_refreshes, 1);
+        assert_eq!(c.total(), 4);
+    }
+
+    #[test]
+    fn display_is_short_mnemonic() {
+        assert_eq!(DramCommand::Activate.to_string(), "ACT");
+        assert_eq!(DramCommand::SwapTransfer.to_string(), "SWAPX");
+    }
+}

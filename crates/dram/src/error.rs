@@ -1,0 +1,47 @@
+//! Error types for the DRAM model.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::geometry::RowAddr;
+
+/// Errors produced by the DRAM model layers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DramError {
+    /// An address referenced a channel/rank/bank/row outside the geometry.
+    AddressOutOfRange(RowAddr),
+    /// A configuration constraint was violated (message explains which).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for DramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DramError::AddressOutOfRange(a) => {
+                write!(f, "address {a} is outside the configured geometry")
+            }
+            DramError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for DramError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DramError::AddressOutOfRange(RowAddr::new(9, 0, 0, 1));
+        assert!(e.to_string().contains("ch9"));
+        let e = DramError::InvalidConfig("sets must be a power of two".into());
+        assert!(e.to_string().contains("power of two"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DramError>();
+    }
+}

@@ -1,0 +1,276 @@
+//! IDD-current-based DRAM power model (Micron TN-46/“DRAM power calculator”
+//! methodology), the datasheet-grade alternative to the first-order
+//! per-command model in [`crate::power`].
+//!
+//! USIMM's power reporting — which the paper uses for Table 6's DRAM row —
+//! follows the same current-times-voltage formulation: background power
+//! from the standby currents (IDD2N precharged / IDD3N active), activate
+//! energy from `(IDD0 − IDD3N) · tRC`, read/write burst power from
+//! `(IDD4R/W − IDD3N)`, and refresh from `(IDD5B − IDD3N) · tRFC`.
+
+use crate::command::CommandCounts;
+use crate::timing::{Cycle, TimingParams};
+
+/// Datasheet currents of one DRAM device, in milliamps, plus supply voltage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IddCurrents {
+    /// One-bank activate-precharge current.
+    pub idd0_ma: f64,
+    /// Precharge standby current.
+    pub idd2n_ma: f64,
+    /// Active standby current.
+    pub idd3n_ma: f64,
+    /// Burst read current.
+    pub idd4r_ma: f64,
+    /// Burst write current.
+    pub idd4w_ma: f64,
+    /// Burst refresh current.
+    pub idd5b_ma: f64,
+    /// Supply voltage in volts.
+    pub vdd: f64,
+    /// Devices per rank (x8 devices on a 64-bit channel: 8).
+    pub devices_per_rank: u32,
+}
+
+impl IddCurrents {
+    /// Typical 8 Gb x8 DDR4-3200 datasheet values.
+    pub fn ddr4_8gb_x8() -> Self {
+        IddCurrents {
+            idd0_ma: 58.0,
+            idd2n_ma: 34.0,
+            idd3n_ma: 44.0,
+            idd4r_ma: 150.0,
+            idd4w_ma: 140.0,
+            idd5b_ma: 195.0,
+            vdd: 1.2,
+            devices_per_rank: 8,
+        }
+    }
+}
+
+impl Default for IddCurrents {
+    fn default() -> Self {
+        Self::ddr4_8gb_x8()
+    }
+}
+
+/// Power/energy report from the IDD model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IddReport {
+    /// Background (standby) energy, nJ.
+    pub background_nj: f64,
+    /// Activate/precharge energy, nJ.
+    pub activate_nj: f64,
+    /// Read burst energy, nJ.
+    pub read_nj: f64,
+    /// Write burst energy, nJ.
+    pub write_nj: f64,
+    /// Refresh energy, nJ.
+    pub refresh_nj: f64,
+    /// Row-swap streaming energy (activate + full-row bursts), nJ.
+    pub swap_nj: f64,
+    /// Interval length in seconds.
+    pub elapsed_seconds: f64,
+}
+
+impl IddReport {
+    /// Total energy, nJ.
+    pub fn total_nj(&self) -> f64 {
+        self.background_nj
+            + self.activate_nj
+            + self.read_nj
+            + self.write_nj
+            + self.refresh_nj
+            + self.swap_nj
+    }
+
+    /// Average power in milliwatts.
+    pub fn average_mw(&self) -> f64 {
+        if self.elapsed_seconds <= 0.0 {
+            0.0
+        } else {
+            self.total_nj() * 1e-9 / self.elapsed_seconds * 1e3
+        }
+    }
+
+    /// Fraction of non-swap energy attributable to row swaps (Table 6's
+    /// DRAM row).
+    pub fn swap_overhead_fraction(&self) -> f64 {
+        let base = self.total_nj() - self.swap_nj;
+        if base <= 0.0 {
+            0.0
+        } else {
+            self.swap_nj / base
+        }
+    }
+}
+
+/// The IDD-based power model for one rank.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct IddPowerModel {
+    /// Device currents.
+    pub currents: IddCurrents,
+}
+
+impl IddPowerModel {
+    /// Creates the model from datasheet currents.
+    pub fn new(currents: IddCurrents) -> Self {
+        IddPowerModel { currents }
+    }
+
+    fn rank_watts(&self, ma_above_background: f64) -> f64 {
+        self.currents.vdd * ma_above_background * 1e-3 * self.currents.devices_per_rank as f64
+    }
+
+    /// Energy of one activate-precharge pair, nJ:
+    /// `VDD · (IDD0 − IDD3N) · tRC` per device.
+    pub fn activate_energy_nj(&self, timing: &TimingParams) -> f64 {
+        let seconds = timing.cycles_to_ns(timing.t_rc) * 1e-9;
+        self.rank_watts(self.currents.idd0_ma - self.currents.idd3n_ma) * seconds * 1e9
+    }
+
+    /// Energy of one 64 B read burst, nJ.
+    pub fn read_energy_nj(&self, timing: &TimingParams) -> f64 {
+        let seconds = timing.cycles_to_ns(timing.line_transfer_cycles()) * 1e-9;
+        self.rank_watts(self.currents.idd4r_ma - self.currents.idd3n_ma) * seconds * 1e9
+    }
+
+    /// Energy of one 64 B write burst, nJ.
+    pub fn write_energy_nj(&self, timing: &TimingParams) -> f64 {
+        let seconds = timing.cycles_to_ns(timing.line_transfer_cycles()) * 1e-9;
+        self.rank_watts(self.currents.idd4w_ma - self.currents.idd3n_ma) * seconds * 1e9
+    }
+
+    /// Energy of one all-bank refresh command, nJ:
+    /// `VDD · (IDD5B − IDD3N) · tRFC`.
+    pub fn refresh_energy_nj(&self, timing: &TimingParams) -> f64 {
+        let seconds = timing.cycles_to_ns(timing.t_rfc) * 1e-9;
+        self.rank_watts(self.currents.idd5b_ma - self.currents.idd3n_ma) * seconds * 1e9
+    }
+
+    /// Full report over `elapsed` cycles for one rank.
+    ///
+    /// `row_open_fraction` selects between active (IDD3N) and precharged
+    /// (IDD2N) standby for the background term.
+    pub fn report(
+        &self,
+        counts: &CommandCounts,
+        elapsed: Cycle,
+        timing: &TimingParams,
+        lines_per_row: usize,
+        row_open_fraction: f64,
+    ) -> IddReport {
+        let seconds = timing.cycles_to_ns(elapsed) * 1e-9;
+        let standby_ma = self.currents.idd2n_ma
+            + row_open_fraction.clamp(0.0, 1.0)
+                * (self.currents.idd3n_ma - self.currents.idd2n_ma);
+        let background_nj = self.rank_watts(standby_ma) * seconds * 1e9;
+
+        let act = self.activate_energy_nj(timing);
+        let rd = self.read_energy_nj(timing);
+        let wr = self.write_energy_nj(timing);
+        // A swap transfer streams a whole row once (plus its activation).
+        let swap_each = act + lines_per_row as f64 * (rd + wr) / 2.0;
+
+        IddReport {
+            background_nj,
+            activate_nj: (counts.activates + counts.targeted_refreshes) as f64 * act,
+            read_nj: counts.reads as f64 * rd,
+            write_nj: counts.writes as f64 * wr,
+            refresh_nj: counts.refreshes as f64 * self.refresh_energy_nj(timing),
+            swap_nj: counts.swap_transfers as f64 * swap_each,
+            elapsed_seconds: seconds,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::DramCommand;
+
+    fn model() -> IddPowerModel {
+        IddPowerModel::default()
+    }
+
+    #[test]
+    fn per_command_energies_have_datasheet_magnitudes() {
+        let t = TimingParams::ddr4_3200();
+        let m = model();
+        // ACT+PRE: VDD·(IDD0−IDD3N)·tRC·8 devices = 1.2·14mA·45ns·8 ≈ 6 nJ.
+        let act = m.activate_energy_nj(&t);
+        assert!((3.0..12.0).contains(&act), "ACT energy = {act} nJ");
+        // Read burst: 1.2·106mA·2.5ns·8 ≈ 2.5 nJ.
+        let rd = m.read_energy_nj(&t);
+        assert!((0.8..6.0).contains(&rd), "RD energy = {rd} nJ");
+        // Refresh: 1.2·151mA·350ns·8 ≈ 507 nJ.
+        let rf = m.refresh_energy_nj(&t);
+        assert!((200.0..1_000.0).contains(&rf), "REF energy = {rf} nJ");
+    }
+
+    #[test]
+    fn idle_rank_draws_standby_power() {
+        let t = TimingParams::ddr4_3200();
+        let r = model().report(&CommandCounts::new(), t.epoch, &t, 128, 0.0);
+        // 1.2 V · 34 mA · 8 devices ≈ 326 mW precharged standby.
+        let mw = r.average_mw();
+        assert!((250.0..450.0).contains(&mw), "idle power = {mw} mW");
+        // Active standby is strictly higher.
+        let active = model().report(&CommandCounts::new(), t.epoch, &t, 128, 1.0);
+        assert!(active.average_mw() > mw);
+    }
+
+    #[test]
+    fn busy_rank_power_is_realistic() {
+        // A maximally busy rank (~1.36M ACTs + reads per 64 ms) should land
+        // in the 1–6 W range DDR4 DIMMs actually draw.
+        let t = TimingParams::ddr4_3200();
+        let counts = CommandCounts {
+            activates: 16 * 500_000,
+            reads: 16 * 1_500_000,
+            writes: 16 * 500_000,
+            refreshes: 8_205,
+            ..CommandCounts::default()
+        };
+        let r = model().report(&counts, t.epoch, &t, 128, 0.7);
+        let w = r.average_mw() / 1_000.0;
+        assert!((1.0..8.0).contains(&w), "busy rank = {w} W");
+    }
+
+    #[test]
+    fn swap_overhead_agrees_with_first_order_model_in_magnitude() {
+        // The two power models must tell the same Table 6 story: benign
+        // swap ratios produce sub-percent overheads in both.
+        let t = TimingParams::ddr4_3200();
+        let mut counts = CommandCounts {
+            activates: 1_000_000,
+            reads: 3_000_000,
+            refreshes: 8_205,
+            ..CommandCounts::default()
+        };
+        for _ in 0..272 {
+            counts.record(DramCommand::SwapTransfer); // 68 swaps × 4 transfers
+        }
+        let idd = model().report(&counts, t.epoch, &t, 128, 0.7);
+        let simple = crate::power::DramPowerModel::ddr4().report(&counts, t.epoch, &t, 128, 1);
+        let (a, b) = (idd.swap_overhead_fraction(), simple.swap_overhead_fraction());
+        assert!(a > 0.0 && a < 0.01, "idd overhead = {a}");
+        assert!(b > 0.0 && b < 0.02, "simple overhead = {b}");
+        // Same order of magnitude.
+        assert!(a / b < 10.0 && b / a < 10.0, "models disagree: {a} vs {b}");
+    }
+
+    #[test]
+    fn report_components_are_linear() {
+        let t = TimingParams::ddr4_3200();
+        let mut one = CommandCounts::new();
+        one.record(DramCommand::Activate);
+        let mut two = CommandCounts::new();
+        two.record(DramCommand::Activate);
+        two.record(DramCommand::Activate);
+        let m = model();
+        let r1 = m.report(&one, 1_000, &t, 128, 0.5);
+        let r2 = m.report(&two, 1_000, &t, 128, 0.5);
+        assert!((r2.activate_nj - 2.0 * r1.activate_nj).abs() < 1e-9);
+    }
+}

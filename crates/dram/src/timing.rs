@@ -1,0 +1,232 @@
+//! DDR4 timing parameters and derived quantities.
+//!
+//! All times are expressed in CPU cycles at the baseline 3.2 GHz clock
+//! (Table 2 of the paper), so one cycle is 0.3125 ns and the 1.6 GHz memory
+//! bus runs at 2 CPU cycles per bus cycle.
+//!
+//! The derived quantities quoted throughout the paper fall out of these
+//! parameters:
+//!
+//! * ~1.36 M activations per bank per 64 ms refresh window (§2.2),
+//! * 365 ns to stream one 8 KB row to a swap buffer (§4.4),
+//! * 1.46 µs for a row swap (4 transfers), 2.9 µs for swap + unswap,
+//!   4.4 µs for the worst-case re-swap with eviction (§4.4).
+
+/// A point in (or span of) time, in CPU cycles at [`TimingParams::cpu_ghz`].
+pub type Cycle = u64;
+
+/// DDR timing parameters, in CPU cycles.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingParams {
+    /// CPU clock in GHz (cycles per nanosecond).
+    pub cpu_ghz: f64,
+    /// Memory bus clock in GHz (DDR transfers at 2× this).
+    pub bus_ghz: f64,
+    /// ACT-to-CAS delay.
+    pub t_rcd: Cycle,
+    /// Precharge latency.
+    pub t_rp: Cycle,
+    /// CAS (column access) latency.
+    pub t_cas: Cycle,
+    /// ACT-to-ACT delay within a bank (row cycle time).
+    pub t_rc: Cycle,
+    /// Refresh command duration.
+    pub t_rfc: Cycle,
+    /// Refresh command interval.
+    pub t_refi: Cycle,
+    /// Refresh window (one epoch): every row is refreshed once per epoch.
+    pub epoch: Cycle,
+    /// Cache-line size transferred per column access, in bytes.
+    pub line_bytes: usize,
+}
+
+impl TimingParams {
+    /// DDR4-3200 at a 3.2 GHz CPU clock, per Table 2:
+    /// `tRCD-tRP-tCAS` = 14-14-14 ns, `tRC` = 45 ns, `tRFC` = 350 ns,
+    /// `tREFI` = 7.8 µs, refresh window 64 ms.
+    pub fn ddr4_3200() -> Self {
+        let cpu_ghz = 3.2;
+        let ns = |t: f64| -> Cycle { (t * cpu_ghz).round() as Cycle };
+        TimingParams {
+            cpu_ghz,
+            bus_ghz: 1.6,
+            t_rcd: ns(14.0),
+            t_rp: ns(14.0),
+            t_cas: ns(14.0),
+            t_rc: ns(45.0),
+            t_rfc: ns(350.0),
+            t_refi: ns(7800.0),
+            epoch: ns(64_000_000.0),
+            line_bytes: 64,
+        }
+    }
+
+    /// The same device timing with the refresh window (and therefore every
+    /// epoch-relative quantity) shrunk by `scale`.
+    ///
+    /// Scaled runs keep every *ratio* in the RRS design intact — tracker
+    /// entries per epoch, swaps per epoch, duty cycle — while making
+    /// simulations tractable. Thresholds must be scaled alongside (see
+    /// `rrs_core::RrsConfig::for_threshold`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is zero.
+    pub fn with_epoch_scale(mut self, scale: u64) -> Self {
+        assert!(scale > 0, "epoch scale must be nonzero");
+        self.epoch /= scale;
+        self
+    }
+
+    /// Converts nanoseconds to CPU cycles (rounded).
+    pub fn ns_to_cycles(&self, ns: f64) -> Cycle {
+        (ns * self.cpu_ghz).round() as Cycle
+    }
+
+    /// Converts CPU cycles to nanoseconds.
+    pub fn cycles_to_ns(&self, cycles: Cycle) -> f64 {
+        cycles as f64 / self.cpu_ghz
+    }
+
+    /// CPU cycles per memory bus cycle (2 for the 3.2 GHz / 1.6 GHz baseline).
+    pub fn cpu_cycles_per_bus_cycle(&self) -> Cycle {
+        (self.cpu_ghz / self.bus_ghz).round() as Cycle
+    }
+
+    /// Cycles the data bus is occupied by one cache-line burst
+    /// (BL8: 4 bus cycles for a 64 B line on a 128-bit DDR interface).
+    pub fn line_transfer_cycles(&self) -> Cycle {
+        4 * self.cpu_cycles_per_bus_cycle()
+    }
+
+    /// Number of refresh commands issued per epoch.
+    pub fn refreshes_per_epoch(&self) -> u64 {
+        self.epoch / self.t_refi
+    }
+
+    /// Cycles per epoch during which a rank is available for activations,
+    /// i.e. the epoch minus time spent in refresh.
+    pub fn available_cycles_per_epoch(&self) -> Cycle {
+        self.epoch - self.refreshes_per_epoch() * self.t_rfc
+    }
+
+    /// Maximum activations per bank per epoch — the paper's `ACT_max`
+    /// (≈1.36 M for the 64 ms baseline).
+    ///
+    /// ```
+    /// let t = rrs_dram::TimingParams::ddr4_3200();
+    /// let m = t.max_activations_per_epoch();
+    /// assert!((1_350_000..1_370_000).contains(&m));
+    /// ```
+    pub fn max_activations_per_epoch(&self) -> u64 {
+        self.available_cycles_per_epoch() / self.t_rc
+    }
+
+    /// Cycles to stream one row of `row_bytes` between DRAM and a swap
+    /// buffer: one activation window plus the burst transfers
+    /// (≈365 ns for an 8 KB row, §4.4).
+    pub fn row_transfer_cycles(&self, row_bytes: usize) -> Cycle {
+        let lines = (row_bytes / self.line_bytes) as Cycle;
+        self.t_rc + lines * self.line_transfer_cycles()
+    }
+
+    /// Cycles for one full row swap: four row transfers (≈1.46 µs, §4.4).
+    pub fn row_swap_cycles(&self, row_bytes: usize) -> Cycle {
+        4 * self.row_transfer_cycles(row_bytes)
+    }
+
+    /// Cycles for a swap plus the unswap triggered by an RIT eviction
+    /// (≈2.9 µs, §4.4).
+    pub fn swap_plus_unswap_cycles(&self, row_bytes: usize) -> Cycle {
+        2 * self.row_swap_cycles(row_bytes)
+    }
+
+    /// Worst-case re-swap requiring an eviction of a previous-epoch tuple
+    /// (≈4.4 µs, §4.4).
+    pub fn worst_case_swap_cycles(&self, row_bytes: usize) -> Cycle {
+        3 * self.row_swap_cycles(row_bytes)
+    }
+}
+
+impl Default for TimingParams {
+    fn default() -> Self {
+        Self::ddr4_3200()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_values_in_cycles() {
+        let t = TimingParams::ddr4_3200();
+        assert_eq!(t.t_rcd, 45); // 14 ns * 3.2
+        assert_eq!(t.t_rc, 144); // 45 ns * 3.2
+        assert_eq!(t.t_rfc, 1120); // 350 ns * 3.2
+        assert_eq!(t.t_refi, 24_960); // 7.8 µs * 3.2
+        assert_eq!(t.epoch, 204_800_000); // 64 ms * 3.2 GHz
+        assert_eq!(t.cpu_cycles_per_bus_cycle(), 2);
+    }
+
+    #[test]
+    fn act_max_matches_paper() {
+        // §2.2: "a bank can encounter up to 1.36 million activations in the
+        // refresh window of 64ms if we discount the time spent in refresh".
+        let t = TimingParams::ddr4_3200();
+        let act_max = t.max_activations_per_epoch();
+        assert!(
+            (1_350_000..=1_370_000).contains(&act_max),
+            "ACT_max = {act_max}"
+        );
+    }
+
+    #[test]
+    fn row_transfer_matches_paper_365ns() {
+        // §4.4: 512 bus cycles (320 ns) + 45 ns ACT = ~365 ns.
+        let t = TimingParams::ddr4_3200();
+        let ns = t.cycles_to_ns(t.row_transfer_cycles(8 * 1024));
+        assert!((360.0..=370.0).contains(&ns), "row transfer = {ns} ns");
+    }
+
+    #[test]
+    fn swap_latencies_match_paper() {
+        let t = TimingParams::ddr4_3200();
+        let row = 8 * 1024;
+        let swap_us = t.cycles_to_ns(t.row_swap_cycles(row)) / 1000.0;
+        assert!((1.4..=1.5).contains(&swap_us), "swap = {swap_us} µs");
+        let both_us = t.cycles_to_ns(t.swap_plus_unswap_cycles(row)) / 1000.0;
+        assert!((2.8..=3.0).contains(&both_us), "swap+unswap = {both_us} µs");
+        let worst_us = t.cycles_to_ns(t.worst_case_swap_cycles(row)) / 1000.0;
+        assert!((4.3..=4.5).contains(&worst_us), "worst = {worst_us} µs");
+    }
+
+    #[test]
+    fn epoch_scaling_preserves_ratios() {
+        let base = TimingParams::ddr4_3200();
+        let scaled = base.with_epoch_scale(32);
+        assert_eq!(scaled.epoch, base.epoch / 32);
+        // ACT_max scales by the same factor (within rounding).
+        let ratio = base.max_activations_per_epoch() as f64
+            / scaled.max_activations_per_epoch() as f64;
+        assert!((ratio - 32.0).abs() < 0.1, "ratio = {ratio}");
+        // Device timing is untouched.
+        assert_eq!(scaled.t_rc, base.t_rc);
+    }
+
+    #[test]
+    #[should_panic(expected = "epoch scale must be nonzero")]
+    fn zero_scale_panics() {
+        let _ = TimingParams::ddr4_3200().with_epoch_scale(0);
+    }
+
+    #[test]
+    fn ns_cycle_round_trip() {
+        let t = TimingParams::ddr4_3200();
+        for ns in [1.0, 14.0, 45.0, 350.0, 7800.0] {
+            let c = t.ns_to_cycles(ns);
+            let back = t.cycles_to_ns(c);
+            assert!((back - ns).abs() < 0.2, "{ns} -> {c} -> {back}");
+        }
+    }
+}

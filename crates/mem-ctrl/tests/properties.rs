@@ -1,0 +1,90 @@
+//! Property-based tests for address mapping and controller behaviour.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use rrs_dram::geometry::DramGeometry;
+use rrs_mem_ctrl::controller::{ControllerConfig, MemoryController};
+use rrs_mem_ctrl::mapping::AddressMapper;
+use rrs_mem_ctrl::mitigation::NoMitigation;
+
+/// Strategy over valid (power-of-two) geometries.
+fn geometries() -> impl Strategy<Value = DramGeometry> {
+    (0u32..2, 0u32..2, 1u32..5, 8u32..12).prop_map(|(ch, rk, bk, rows)| DramGeometry {
+        channels: 1 << ch,
+        ranks_per_channel: 1 << rk,
+        banks_per_rank: 1 << bk,
+        rows_per_bank: 1 << rows,
+        row_size_bytes: 8 * 1024,
+    })
+}
+
+proptest! {
+    /// decode/encode round-trips for any in-range line-aligned address on
+    /// any valid geometry.
+    #[test]
+    fn mapper_round_trips(g in geometries(), raw in any::<u64>()) {
+        let m = AddressMapper::new(g);
+        let addr = (raw % m.address_space()) & !63;
+        let d = m.decode(addr);
+        prop_assert!(g.contains(d.row));
+        prop_assert_eq!(m.encode(d), addr);
+    }
+
+    /// nth_row enumerates a bijection over all rows of any geometry.
+    #[test]
+    fn nth_row_is_a_bijection(g in geometries()) {
+        let m = AddressMapper::new(g);
+        let total = m.total_rows();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..total {
+            prop_assert!(seen.insert(m.nth_row(i)), "duplicate at {}", i);
+        }
+        prop_assert_eq!(seen.len() as u64, total);
+    }
+
+    /// Distinct line-aligned addresses decode to distinct (row, column)
+    /// coordinates — the mapping never aliases.
+    #[test]
+    fn mapping_never_aliases(a in any::<u64>(), b in any::<u64>()) {
+        let m = AddressMapper::new(DramGeometry::asplos22_baseline());
+        let a = (a % m.address_space()) & !63;
+        let b = (b % m.address_space()) & !63;
+        prop_assume!(a != b);
+        prop_assert_ne!(m.decode(a), m.decode(b));
+    }
+
+    /// Controller causality: completions are strictly after requests, and
+    /// requests presented in non-decreasing time order never produce
+    /// out-of-thin-air early completions.
+    #[test]
+    fn controller_is_causal(reqs in vec((any::<u64>(), any::<bool>(), 0u64..2_000), 1..80)) {
+        let mut mc = MemoryController::new(
+            ControllerConfig::test_config(),
+            Box::new(NoMitigation::new()),
+        );
+        let mut now = 0u64;
+        for (addr, is_write, gap) in reqs {
+            now += gap;
+            let done = mc.access(addr, is_write, now);
+            prop_assert!(done > now, "completion {} <= request {}", done, now);
+        }
+    }
+
+    /// Statistics conservation: reads + writes equals requests served, and
+    /// every access is either a row hit or an activation.
+    #[test]
+    fn controller_stats_conserve(reqs in vec((any::<u64>(), any::<bool>()), 1..100)) {
+        let mut mc = MemoryController::new(
+            ControllerConfig::test_config(),
+            Box::new(NoMitigation::new()),
+        );
+        let mut now = 0u64;
+        for (addr, is_write) in &reqs {
+            now = mc.access(*addr, *is_write, now);
+        }
+        let s = mc.stats();
+        prop_assert_eq!(s.reads + s.writes, reqs.len() as u64);
+        prop_assert_eq!(s.activations + s.row_hits, reqs.len() as u64);
+    }
+}

@@ -1,0 +1,148 @@
+#![warn(missing_docs)]
+
+//! Row Hammer mitigations under one interface.
+//!
+//! Every defense evaluated in the paper (and this reproduction's ablations)
+//! implements [`rrs_mem_ctrl::Mitigation`], so they are interchangeable in
+//! the controller and the experiment harness:
+//!
+//! | Module | Defense | Paper role |
+//! |---|---|---|
+//! | [`rrs`] | Randomized Row-Swap | the contribution (§4) |
+//! | [`blockhammer`] | BlockHammer (BL=512/1K) | aggressor-focused baseline (§8.1, Fig. 11) |
+//! | [`victim_refresh`] | Idealized victim-focused refresh | Table 7 baseline; Half-Double victim (§2.5) |
+//! | [`graphene`] | Graphene (real Misra-Gries + victim refresh) | the tracker RRS builds on, as originally deployed |
+//! | [`para`] | PARA | stateless victim-focused baseline (§2.4) |
+//! | [`prob_rrs`] | Probabilistic row-swap | footnote-1 ablation |
+//! | [`rrs_mem_ctrl::NoMitigation`] | nothing | undefended baseline |
+//!
+//! # Example
+//!
+//! ```
+//! use rrs_mitigations::factory;
+//! use rrs_dram::geometry::DramGeometry;
+//! use rrs_dram::timing::TimingParams;
+//!
+//! let g = DramGeometry::tiny_test();
+//! let t = TimingParams::ddr4_3200();
+//! for kind in factory::MitigationKind::ALL {
+//!     let m = factory::build(*kind, 4_800, g, &t);
+//!     assert!(!m.name().is_empty());
+//! }
+//! ```
+
+pub mod blockhammer;
+pub mod graphene;
+pub mod para;
+pub mod prob_rrs;
+pub mod rrs;
+pub mod victim_refresh;
+
+pub use blockhammer::{BlockHammer, BlockHammerConfig};
+pub use graphene::{Graphene, GrapheneConfig};
+pub use para::Para;
+pub use prob_rrs::ProbabilisticRrs;
+pub use rrs::RrsMitigation;
+pub use victim_refresh::{VictimRefresh, VictimRefreshConfig};
+
+/// Convenience constructors for experiment harnesses.
+pub mod factory {
+    use rrs_dram::geometry::DramGeometry;
+    use rrs_dram::timing::TimingParams;
+    use rrs_mem_ctrl::mitigation::{Mitigation, NoMitigation};
+
+    use super::*;
+
+    /// Which defense to build.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+    pub enum MitigationKind {
+        /// No defense.
+        None,
+        /// Randomized Row-Swap at the secure design point for `T_RH`.
+        Rrs,
+        /// BlockHammer with blacklist threshold 512.
+        BlockHammer512,
+        /// BlockHammer with blacklist threshold 1024.
+        BlockHammer1k,
+        /// Idealized victim-focused refresh, distance 1.
+        VictimRefresh,
+        /// Graphene proper: bounded Misra-Gries tracker + victim refresh.
+        Graphene,
+        /// PARA.
+        Para,
+        /// Probabilistic (stateless) row-swap ablation.
+        ProbabilisticRrs,
+    }
+
+    impl MitigationKind {
+        /// Every defense kind, for sweeps.
+        pub const ALL: &'static [MitigationKind] = &[
+            MitigationKind::None,
+            MitigationKind::Rrs,
+            MitigationKind::BlockHammer512,
+            MitigationKind::BlockHammer1k,
+            MitigationKind::VictimRefresh,
+            MitigationKind::Graphene,
+            MitigationKind::Para,
+            MitigationKind::ProbabilisticRrs,
+        ];
+    }
+
+    /// Builds the defense for a Row Hammer threshold of `t_rh` on
+    /// `geometry` under `timing` (the epoch length parameterizes windowed
+    /// defenses). The RRS design point follows §4.5's derivation with
+    /// `ACT_max` computed from `timing`.
+    pub fn build(
+        kind: MitigationKind,
+        t_rh: u64,
+        geometry: DramGeometry,
+        timing: &TimingParams,
+    ) -> Box<dyn Mitigation> {
+        let act_max = timing.max_activations_per_epoch();
+        let seed = 0xBEEF_CAFE;
+        match kind {
+            MitigationKind::None => Box::new(NoMitigation::new()),
+            MitigationKind::Rrs => Box::new(RrsMitigation::new(
+                rrs_core::RrsConfig::for_threshold(t_rh, act_max, geometry.rows_per_bank as u64),
+                geometry,
+            )),
+            // Blacklist thresholds scale with T_RH (512 and 1024 at the
+            // paper's 4.8K point), clamped into the safe range.
+            MitigationKind::BlockHammer512 => Box::new(BlockHammer::new(
+                BlockHammerConfig {
+                    t_rh,
+                    blacklist_threshold: (512 * t_rh / 4_800).clamp(1, (t_rh / 4).max(1)),
+                    counters_per_bank: 32_768,
+                    hashes: 3,
+                    window: timing.epoch,
+                },
+                geometry,
+                seed,
+            )),
+            MitigationKind::BlockHammer1k => Box::new(BlockHammer::new(
+                BlockHammerConfig {
+                    t_rh,
+                    blacklist_threshold: (1_024 * t_rh / 4_800).clamp(1, (t_rh / 4).max(1)),
+                    counters_per_bank: 32_768,
+                    hashes: 3,
+                    window: timing.epoch,
+                },
+                geometry,
+                seed,
+            )),
+            MitigationKind::VictimRefresh => Box::new(VictimRefresh::new(
+                VictimRefreshConfig::for_threshold(t_rh),
+                geometry,
+            )),
+            MitigationKind::Graphene => Box::new(Graphene::new(
+                GrapheneConfig::for_threshold(t_rh, act_max),
+                geometry,
+            )),
+            MitigationKind::Para => Box::new(Para::for_threshold(t_rh, geometry, seed)),
+            MitigationKind::ProbabilisticRrs => {
+                let t_rrs = (t_rh / rrs_core::DEFAULT_K).max(1);
+                Box::new(ProbabilisticRrs::for_t_rrs(t_rrs, act_max, geometry, seed))
+            }
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! The Randomized Row-Swap defense, adapted to the controller's
+//! [`Mitigation`] interface.
+
+use rrs_core::rrs::{Rrs, RrsAction, RrsConfig};
+use rrs_dram::geometry::{DramGeometry, RowAddr};
+use rrs_dram::timing::Cycle;
+use rrs_mem_ctrl::mitigation::{Mitigation, MitigationAction};
+
+/// RRS as a pluggable mitigation: RIT-resolved accesses, tracker-driven
+/// random swaps, optional detector escalation.
+#[derive(Debug, Clone)]
+pub struct RrsMitigation {
+    engine: Rrs,
+    name: String,
+}
+
+impl RrsMitigation {
+    /// Creates the defense for `geometry` at the given design point.
+    pub fn new(config: RrsConfig, geometry: DramGeometry) -> Self {
+        RrsMitigation {
+            name: format!("rrs-t{}", config.t_rrs),
+            engine: Rrs::new(config, geometry),
+        }
+    }
+
+    /// The paper's baseline design point for `geometry`.
+    pub fn asplos22(geometry: DramGeometry) -> Self {
+        Self::new(RrsConfig::asplos22(), geometry)
+    }
+
+    /// The underlying engine, for inspection.
+    pub fn engine(&self) -> &Rrs {
+        &self.engine
+    }
+}
+
+impl Mitigation for RrsMitigation {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn resolve(&self, row: RowAddr) -> RowAddr {
+        self.engine.resolve(row)
+    }
+
+    fn access_latency(&self) -> Cycle {
+        self.engine.access_latency()
+    }
+
+    fn on_activation(&mut self, row: RowAddr, _at: Cycle, actions: &mut Vec<MitigationAction>) {
+        for action in self.engine.on_activation(row) {
+            match action {
+                RrsAction::Swap(ps) => actions.push(MitigationAction::RowSwap {
+                    a: row.with_row(ps.row_a as u32),
+                    b: row.with_row(ps.row_b as u32),
+                }),
+                RrsAction::Unswap(ps) => actions.push(MitigationAction::RowUnswap {
+                    a: row.with_row(ps.row_a as u32),
+                    b: row.with_row(ps.row_b as u32),
+                }),
+                RrsAction::Alarm { .. } => actions.push(MitigationAction::FullRefresh),
+            }
+        }
+    }
+
+    fn on_epoch_end(&mut self, _now: Cycle, _actions: &mut Vec<MitigationAction>) {
+        self.engine.end_epoch();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> RrsMitigation {
+        RrsMitigation::new(
+            RrsConfig::for_threshold(60, 1_000, 1_024),
+            DramGeometry::tiny_test(),
+        )
+    }
+
+    #[test]
+    fn resolves_identity_until_swapped() {
+        let mut m = small();
+        let row = RowAddr::new(0, 0, 0, 7);
+        assert_eq!(m.resolve(row), row);
+        let mut actions = Vec::new();
+        for _ in 0..10 {
+            actions.clear();
+            m.on_activation(row, 0, &mut actions);
+        }
+        assert!(matches!(actions[0], MitigationAction::RowSwap { .. }));
+        assert_ne!(m.resolve(row), row);
+    }
+
+    #[test]
+    fn swap_actions_stay_in_bank() {
+        let mut m = small();
+        let row = RowAddr::new(0, 0, 1, 3);
+        let mut actions = Vec::new();
+        for _ in 0..10 {
+            actions.clear();
+            m.on_activation(row, 0, &mut actions);
+        }
+        if let MitigationAction::RowSwap { a, b } = actions[0] {
+            assert_eq!(a.bank, row.bank);
+            assert_eq!(b.bank, row.bank);
+        } else {
+            panic!("expected a swap");
+        }
+    }
+
+    #[test]
+    fn charges_rit_lookup_latency() {
+        let m = small();
+        assert_eq!(m.access_latency(), 4);
+    }
+
+    #[test]
+    fn epoch_end_resets_tracker_state() {
+        let mut m = small();
+        let row = RowAddr::new(0, 0, 0, 7);
+        let mut actions = Vec::new();
+        for _ in 0..9 {
+            m.on_activation(row, 0, &mut actions);
+        }
+        m.on_epoch_end(0, &mut actions);
+        // Counter reset: 9 more activations do not reach the threshold.
+        actions.clear();
+        for _ in 0..9 {
+            m.on_activation(row, 0, &mut actions);
+        }
+        assert!(actions.is_empty());
+    }
+}

@@ -1,0 +1,183 @@
+//! Victim-focused mitigation (VFM) with idealized tracking.
+//!
+//! This is the baseline of Table 7: a defense that counts activations per
+//! row with perfect accuracy (no tracker cost or aliasing — the strongest
+//! possible version of Graphene/TWiCe/CRA-style proposals) and refreshes
+//! the immediate neighbours whenever an aggressor's count crosses a multiple
+//! of the refresh threshold.
+//!
+//! Its structural weakness is the paper's motivation: the mitigation itself
+//! activates the neighbour rows, so a Half-Double access pattern can drive
+//! bit flips at distance 2 *through* the defense (§2.5). Setting
+//! `victim_distance = 2` refreshes two neighbours on each side, which the
+//! paper notes is still insufficient — the blast radius just moves to
+//! distance 3 as devices scale (§1).
+
+use std::collections::HashMap;
+
+use rrs_dram::geometry::{DramGeometry, RowAddr};
+use rrs_dram::timing::Cycle;
+use rrs_mem_ctrl::mitigation::{Mitigation, MitigationAction};
+
+/// Configuration of the idealized victim-focused defense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VictimRefreshConfig {
+    /// Refresh neighbours every time an aggressor's per-epoch activation
+    /// count crosses a multiple of this threshold.
+    pub refresh_threshold: u64,
+    /// How many rows on each side to refresh (1 = classic TRR).
+    pub victim_distance: u32,
+}
+
+impl VictimRefreshConfig {
+    /// A conservative threshold for a given Row Hammer threshold: mitigate
+    /// at `T_RH / 4` so double-sided patterns are caught with margin.
+    pub fn for_threshold(t_rh: u64) -> Self {
+        VictimRefreshConfig {
+            refresh_threshold: (t_rh / 4).max(1),
+            victim_distance: 1,
+        }
+    }
+}
+
+/// Idealized victim-focused mitigation.
+#[derive(Debug, Clone)]
+pub struct VictimRefresh {
+    config: VictimRefreshConfig,
+    geometry: DramGeometry,
+    counts: HashMap<RowAddr, u64>,
+    name: String,
+}
+
+impl VictimRefresh {
+    /// Creates the defense.
+    pub fn new(config: VictimRefreshConfig, geometry: DramGeometry) -> Self {
+        VictimRefresh {
+            name: format!(
+                "vfm-ideal-t{}-d{}",
+                config.refresh_threshold, config.victim_distance
+            ),
+            config,
+            geometry,
+            counts: HashMap::new(),
+        }
+    }
+
+    /// The defense's configuration.
+    pub fn config(&self) -> VictimRefreshConfig {
+        self.config
+    }
+
+    /// Per-epoch activation count currently recorded for `row`.
+    pub fn count_of(&self, row: RowAddr) -> u64 {
+        self.counts.get(&row).copied().unwrap_or(0)
+    }
+}
+
+impl Mitigation for VictimRefresh {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn on_activation(&mut self, row: RowAddr, _at: Cycle, actions: &mut Vec<MitigationAction>) {
+        let c = self.counts.entry(row).or_insert(0);
+        *c += 1;
+        if (*c).is_multiple_of(self.config.refresh_threshold) {
+            for d in 1..=self.config.victim_distance {
+                for victim in row.neighbors(d, &self.geometry) {
+                    actions.push(MitigationAction::TargetedRefresh(victim));
+                }
+            }
+        }
+    }
+
+    fn on_epoch_end(&mut self, _now: Cycle, _actions: &mut Vec<MitigationAction>) {
+        self.counts.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vfm(threshold: u64, distance: u32) -> VictimRefresh {
+        VictimRefresh::new(
+            VictimRefreshConfig {
+                refresh_threshold: threshold,
+                victim_distance: distance,
+            },
+            DramGeometry::tiny_test(),
+        )
+    }
+
+    #[test]
+    fn refreshes_both_neighbors_at_threshold() {
+        let mut m = vfm(10, 1);
+        let row = RowAddr::new(0, 0, 0, 100);
+        let mut actions = Vec::new();
+        for _ in 0..10 {
+            actions.clear();
+            m.on_activation(row, 0, &mut actions);
+        }
+        assert_eq!(
+            actions,
+            vec![
+                MitigationAction::TargetedRefresh(row.with_row(99)),
+                MitigationAction::TargetedRefresh(row.with_row(101)),
+            ]
+        );
+    }
+
+    #[test]
+    fn fires_at_every_multiple() {
+        let mut m = vfm(10, 1);
+        let row = RowAddr::new(0, 0, 0, 100);
+        let mut total = 0;
+        for _ in 0..35 {
+            let mut actions = Vec::new();
+            m.on_activation(row, 0, &mut actions);
+            total += actions.len();
+        }
+        assert_eq!(total, 6); // 3 crossings × 2 victims
+    }
+
+    #[test]
+    fn distance_two_refreshes_four_rows() {
+        let mut m = vfm(5, 2);
+        let row = RowAddr::new(0, 0, 0, 100);
+        let mut actions = Vec::new();
+        for _ in 0..5 {
+            actions.clear();
+            m.on_activation(row, 0, &mut actions);
+        }
+        assert_eq!(actions.len(), 4);
+    }
+
+    #[test]
+    fn epoch_end_resets_counts() {
+        let mut m = vfm(10, 1);
+        let row = RowAddr::new(0, 0, 0, 100);
+        let mut actions = Vec::new();
+        for _ in 0..9 {
+            m.on_activation(row, 0, &mut actions);
+        }
+        m.on_epoch_end(0, &mut actions);
+        assert_eq!(m.count_of(row), 0);
+    }
+
+    #[test]
+    fn for_threshold_derives_quarter() {
+        let c = VictimRefreshConfig::for_threshold(4_800);
+        assert_eq!(c.refresh_threshold, 1_200);
+        assert_eq!(c.victim_distance, 1);
+    }
+
+    #[test]
+    fn edge_rows_clip_victims() {
+        let mut m = vfm(1, 1);
+        let row = RowAddr::new(0, 0, 0, 0);
+        let mut actions = Vec::new();
+        m.on_activation(row, 0, &mut actions);
+        assert_eq!(actions.len(), 1); // only the row above exists
+    }
+}

@@ -1,0 +1,99 @@
+//! System configuration (the paper's Table 2).
+
+use rrs_mem_ctrl::controller::ControllerConfig;
+
+use crate::llc::LlcConfig;
+
+/// Full-system configuration for a simulation run.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Number of cores (Table 2: 8 out-of-order cores).
+    pub cores: usize,
+    /// Fetch/retire width (Table 2: 4).
+    pub fetch_width: u32,
+    /// Reorder-buffer size (Table 2: 192). The core model approximates ROB
+    /// stalling with a bounded outstanding-miss window.
+    pub rob_size: usize,
+    /// Maximum outstanding DRAM reads per core (memory-level parallelism;
+    /// ≈ ROB size / typical instructions per miss).
+    pub max_outstanding: usize,
+    /// Memory-controller / DRAM configuration.
+    pub controller: ControllerConfig,
+    /// Shared LLC. `None` means traces are already cache-filtered (USIMM
+    /// style); attack traces typically run with `None` as well because
+    /// attackers flush or bypass caches.
+    pub llc: Option<LlcConfig>,
+    /// Instructions each core must retire for the run to complete.
+    pub instructions_per_core: u64,
+    /// Trace records a core issues back-to-back before other cores
+    /// interleave. Models the row-hit batching of real (FR-)FCFS
+    /// scheduling: without it, two sequential streams sharing a bank
+    /// ping-pong the row buffer on every line, which no real controller
+    /// allows.
+    pub core_burst: usize,
+}
+
+impl SystemConfig {
+    /// The paper's Table 2 baseline (with a configurable run length set by
+    /// the harness — the paper uses 1 B instructions per core).
+    pub fn asplos22_baseline(instructions_per_core: u64) -> Self {
+        SystemConfig {
+            cores: 8,
+            fetch_width: 4,
+            rob_size: 192,
+            max_outstanding: 10,
+            controller: ControllerConfig::asplos22_baseline(),
+            llc: None,
+            instructions_per_core,
+            core_burst: 16,
+        }
+    }
+
+    /// A small configuration for unit tests.
+    pub fn test_config(instructions_per_core: u64) -> Self {
+        SystemConfig {
+            cores: 2,
+            fetch_width: 4,
+            rob_size: 192,
+            max_outstanding: 8,
+            controller: ControllerConfig::test_config(),
+            llc: None,
+            instructions_per_core,
+            core_burst: 16,
+        }
+    }
+
+    /// Replaces the controller configuration.
+    pub fn with_controller(mut self, controller: ControllerConfig) -> Self {
+        self.controller = controller;
+        self
+    }
+
+    /// Enables the shared LLC.
+    pub fn with_llc(mut self, llc: LlcConfig) -> Self {
+        self.llc = Some(llc);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_table2() {
+        let c = SystemConfig::asplos22_baseline(1_000_000);
+        assert_eq!(c.cores, 8);
+        assert_eq!(c.fetch_width, 4);
+        assert_eq!(c.rob_size, 192);
+        assert_eq!(c.controller.geometry.channels, 2);
+        assert!(c.llc.is_none());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = SystemConfig::test_config(100)
+            .with_llc(LlcConfig::tiny_test());
+        assert!(c.llc.is_some());
+    }
+}

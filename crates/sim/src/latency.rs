@@ -1,0 +1,163 @@
+//! Streaming read-latency statistics: log₂-bucketed histogram with
+//! percentile estimation, cheap enough to record every request.
+//!
+//! Memory-system evaluations live and die by tail latency — BlockHammer's
+//! DoS exposure (§8.1) is precisely a tail-latency story — so the runner
+//! records every read's request-to-data latency here.
+
+use rrs_dram::timing::Cycle;
+
+const BUCKETS: usize = 40;
+
+/// Log₂-bucketed latency histogram.
+#[derive(Debug, Clone)]
+pub struct LatencyStats {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u128,
+    max: Cycle,
+}
+
+impl LatencyStats {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyStats {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: Cycle) {
+        let idx = (64 - latency.leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += latency as u128;
+        self.max = self.max.max(latency);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean latency.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Maximum observed latency.
+    pub fn max(&self) -> Cycle {
+        self.max
+    }
+
+    /// Estimates the `q`-quantile (0 < q ≤ 1) as the upper edge of the
+    /// bucket containing it — a ≤2× overestimate by construction, which is
+    /// the right direction for tail-latency claims.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not in `(0, 1]`.
+    pub fn quantile(&self, q: f64) -> Cycle {
+        assert!(q > 0.0 && q <= 1.0, "quantile out of range");
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q * self.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return if i >= 63 { Cycle::MAX } else { (1 << i) - 1 };
+            }
+        }
+        self.max
+    }
+
+    /// Convenience accessors for the usual trio.
+    pub fn p50(&self) -> Cycle {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> Cycle {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> Cycle {
+        self.quantile(0.99)
+    }
+}
+
+impl Default for LatencyStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_zeroes() {
+        let h = LatencyStats::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.p99(), 0);
+    }
+
+    #[test]
+    fn mean_and_max_are_exact() {
+        let mut h = LatencyStats::new();
+        for v in [10u64, 20, 30, 40] {
+            h.record(v);
+        }
+        assert_eq!(h.mean(), 25.0);
+        assert_eq!(h.max(), 40);
+        assert_eq!(h.count(), 4);
+    }
+
+    #[test]
+    fn quantiles_bound_true_values_within_a_bucket() {
+        let mut h = LatencyStats::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        // p50 of 1..=1000 is 500; bucket upper edge gives 511.
+        let p50 = h.p50();
+        assert!((500..1024).contains(&p50), "p50 = {p50}");
+        let p99 = h.p99();
+        assert!((990..2048).contains(&p99), "p99 = {p99}");
+        // Quantiles are monotone.
+        assert!(h.quantile(0.25) <= h.p50());
+        assert!(h.p50() <= h.p95());
+        assert!(h.p95() <= h.p99());
+    }
+
+    #[test]
+    fn tail_outliers_show_in_p99_not_p50() {
+        let mut h = LatencyStats::new();
+        for _ in 0..990 {
+            h.record(100);
+        }
+        for _ in 0..10 {
+            h.record(1_000_000); // 1% pathological tail (a throttled access)
+        }
+        assert!(h.p50() < 256);
+        assert!(h.quantile(0.999) >= 1_000_000 / 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of range")]
+    fn zero_quantile_panics() {
+        LatencyStats::new().quantile(0.0);
+    }
+}

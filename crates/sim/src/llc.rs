@@ -1,0 +1,261 @@
+//! Shared last-level cache: set-associative, LRU, write-back.
+//!
+//! The baseline system (Table 2) has an 8 MB, 16-way shared LLC with 64 B
+//! lines. Workload generators in this reproduction emit post-cache traces
+//! (like USIMM's), so the LLC is optional in the simulator — but attack
+//! traces and raw-address workloads can run through it to model cache
+//! filtering and write-back traffic.
+
+/// LLC configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LlcConfig {
+    /// Total capacity in bytes.
+    pub capacity_bytes: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Line size in bytes.
+    pub line_bytes: usize,
+    /// Hit latency in CPU cycles.
+    pub hit_latency: u64,
+}
+
+impl LlcConfig {
+    /// Table 2: 8 MB, 16-way, 64 B lines.
+    pub fn asplos22_baseline() -> Self {
+        LlcConfig {
+            capacity_bytes: 8 << 20,
+            ways: 16,
+            line_bytes: 64,
+            hit_latency: 40,
+        }
+    }
+
+    /// A small cache for tests.
+    pub fn tiny_test() -> Self {
+        LlcConfig {
+            capacity_bytes: 8 << 10,
+            ways: 4,
+            line_bytes: 64,
+            hit_latency: 10,
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.capacity_bytes / (self.ways * self.line_bytes)
+    }
+}
+
+/// Result of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LlcOutcome {
+    /// Whether the access hit.
+    pub hit: bool,
+    /// A dirty line evicted by this access (address of its first byte),
+    /// which must be written back to memory.
+    pub writeback: Option<u64>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64,
+    dirty: bool,
+    /// LRU stamp: larger = more recent.
+    lru: u64,
+    valid: bool,
+}
+
+/// The shared last-level cache.
+#[derive(Debug, Clone)]
+pub struct Llc {
+    config: LlcConfig,
+    sets: usize,
+    lines: Vec<Line>,
+    stamp: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Llc {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set count is not a power of two.
+    pub fn new(config: LlcConfig) -> Self {
+        let sets = config.sets();
+        assert!(sets.is_power_of_two(), "LLC sets must be a power of two");
+        Llc {
+            config,
+            sets,
+            lines: vec![
+                Line {
+                    tag: 0,
+                    dirty: false,
+                    lru: 0,
+                    valid: false
+                };
+                sets * config.ways
+            ],
+            stamp: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The cache configuration.
+    pub fn config(&self) -> LlcConfig {
+        self.config
+    }
+
+    /// Hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit rate over all accesses.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    fn index(&self, addr: u64) -> (usize, u64) {
+        let line = addr / self.config.line_bytes as u64;
+        ((line as usize) & (self.sets - 1), line / self.sets as u64)
+    }
+
+    /// Accesses `addr`; on a miss the line is allocated (write-allocate) and
+    /// the LRU victim, if dirty, is returned for write-back.
+    pub fn access(&mut self, addr: u64, is_write: bool) -> LlcOutcome {
+        self.stamp += 1;
+        let (set, tag) = self.index(addr);
+        let base = set * self.config.ways;
+        let ways = &mut self.lines[base..base + self.config.ways];
+
+        if let Some(line) = ways.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.lru = self.stamp;
+            line.dirty |= is_write;
+            self.hits += 1;
+            return LlcOutcome {
+                hit: true,
+                writeback: None,
+            };
+        }
+        self.misses += 1;
+        // Victim: invalid way if any, else LRU.
+        let victim = ways
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, l)| if l.valid { l.lru + 1 } else { 0 })
+            .map(|(i, _)| i)
+            .expect("nonzero associativity");
+        let v = &mut ways[victim];
+        let writeback = (v.valid && v.dirty).then(|| {
+            (v.tag * self.sets as u64 + set as u64) * self.config.line_bytes as u64
+        });
+        *v = Line {
+            tag,
+            dirty: is_write,
+            lru: self.stamp,
+            valid: true,
+        };
+        LlcOutcome {
+            hit: false,
+            writeback,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn llc() -> Llc {
+        Llc::new(LlcConfig::tiny_test())
+    }
+
+    #[test]
+    fn baseline_shape_matches_table2() {
+        let c = LlcConfig::asplos22_baseline();
+        assert_eq!(c.sets(), 8192);
+        assert_eq!(c.ways, 16);
+    }
+
+    #[test]
+    fn first_access_misses_second_hits() {
+        let mut c = llc();
+        assert!(!c.access(0x1000, false).hit);
+        assert!(c.access(0x1000, false).hit);
+        assert!(c.access(0x1004, false).hit, "same line");
+        assert_eq!(c.misses(), 1);
+        assert_eq!(c.hits(), 2);
+    }
+
+    #[test]
+    fn dirty_eviction_produces_writeback() {
+        let mut c = llc();
+        let cfg = c.config();
+        let set_stride = (cfg.sets() * cfg.line_bytes) as u64;
+        // Fill one set with dirty lines, then overflow it.
+        c.access(0, true);
+        for i in 1..=cfg.ways as u64 {
+            let out = c.access(i * set_stride, false);
+            if i == cfg.ways as u64 {
+                assert_eq!(out.writeback, Some(0), "LRU dirty line written back");
+            } else {
+                assert_eq!(out.writeback, None);
+            }
+        }
+    }
+
+    #[test]
+    fn clean_eviction_is_silent() {
+        let mut c = llc();
+        let cfg = c.config();
+        let set_stride = (cfg.sets() * cfg.line_bytes) as u64;
+        for i in 0..=cfg.ways as u64 {
+            let out = c.access(i * set_stride, false);
+            assert_eq!(out.writeback, None);
+        }
+    }
+
+    #[test]
+    fn lru_keeps_recently_used() {
+        let mut c = llc();
+        let cfg = c.config();
+        let set_stride = (cfg.sets() * cfg.line_bytes) as u64;
+        for i in 0..cfg.ways as u64 {
+            c.access(i * set_stride, false);
+        }
+        // Touch line 0 so line 1 becomes LRU.
+        c.access(0, false);
+        c.access(cfg.ways as u64 * set_stride, false); // evicts line 1
+        assert!(c.access(0, false).hit, "recently used line retained");
+        assert!(!c.access(set_stride, false).hit, "LRU line evicted");
+    }
+
+    #[test]
+    fn working_set_larger_than_cache_thrashes() {
+        // The hmmer/bzip2 mechanism (§4.6): a working set slightly larger
+        // than the LLC causes continuous misses under cyclic access.
+        let mut c = llc();
+        let lines = (c.config().capacity_bytes / c.config().line_bytes) as u64 * 2;
+        for round in 0..3 {
+            for i in 0..lines {
+                let out = c.access(i * 64, false);
+                if round > 0 {
+                    assert!(!out.hit, "cyclic over-capacity access must thrash");
+                }
+            }
+        }
+    }
+}

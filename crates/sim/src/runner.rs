@@ -1,0 +1,383 @@
+//! The multi-core simulation loop and its results.
+//!
+//! Cores are trace-driven: each retires `gap` non-memory instructions at
+//! the fetch width, then issues its memory access to the shared controller.
+//! Reads occupy one of a bounded set of outstanding-miss slots (the
+//! memory-level-parallelism window that approximates ROB stalling); writes
+//! are posted. Cores advance independently; a binary heap serializes their
+//! requests into the controller in global time order, which yields the FCFS
+//! scheduling of the paper's setup.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use rrs_dram::command::CommandCounts;
+use rrs_dram::hammer::BitFlip;
+use rrs_dram::power::{DramPowerModel, PowerReport};
+use rrs_dram::timing::Cycle;
+use rrs_mem_ctrl::controller::{ControllerStats, MemoryController};
+use rrs_mem_ctrl::mitigation::Mitigation;
+
+use crate::config::SystemConfig;
+use crate::latency::LatencyStats;
+use crate::llc::Llc;
+use crate::trace::TraceSource;
+
+/// Results of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Workload name.
+    pub workload: String,
+    /// Mitigation name.
+    pub mitigation: String,
+    /// Per-core IPC at the moment each core finished.
+    pub core_ipc: Vec<f64>,
+    /// Total instructions retired across cores.
+    pub total_instructions: u64,
+    /// Cycle at which the last core finished.
+    pub cycles: Cycle,
+    /// Controller statistics (activations, swaps, epochs, ...).
+    pub stats: ControllerStats,
+    /// Row Hammer bit flips observed during the run.
+    pub bit_flips: Vec<BitFlip>,
+    /// Aggregate DRAM command counts.
+    pub command_counts: CommandCounts,
+    /// LLC hit rate, when an LLC was configured.
+    pub llc_hit_rate: Option<f64>,
+    /// Read-latency distribution (request to data, in cycles).
+    pub read_latency: LatencyStats,
+}
+
+impl SimResult {
+    /// System throughput: total instructions / total cycles.
+    pub fn aggregate_ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.total_instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Geometric-mean of per-core IPCs.
+    pub fn geomean_core_ipc(&self) -> f64 {
+        if self.core_ipc.is_empty() {
+            return 0.0;
+        }
+        let log_sum: f64 = self.core_ipc.iter().map(|i| i.max(1e-12).ln()).sum();
+        (log_sum / self.core_ipc.len() as f64).exp()
+    }
+
+    /// Performance normalized to a baseline run (Figure 6's y-axis):
+    /// `IPC_this / IPC_baseline`.
+    pub fn normalized_to(&self, baseline: &SimResult) -> f64 {
+        let b = baseline.aggregate_ipc();
+        if b == 0.0 {
+            0.0
+        } else {
+            self.aggregate_ipc() / b
+        }
+    }
+
+    /// Weighted speedup vs a baseline run of the same workload:
+    /// `Σᵢ IPCᵢ / IPCᵢ_baseline` — the standard multiprogrammed
+    /// throughput metric (equals core count when nothing slowed down).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the runs have different core counts.
+    pub fn weighted_speedup(&self, baseline: &SimResult) -> f64 {
+        assert_eq!(
+            self.core_ipc.len(),
+            baseline.core_ipc.len(),
+            "core counts differ"
+        );
+        self.core_ipc
+            .iter()
+            .zip(&baseline.core_ipc)
+            .map(|(a, b)| if *b > 0.0 { a / b } else { 0.0 })
+            .sum()
+    }
+
+    /// Fairness vs a baseline run: `min slowdown / max slowdown` over
+    /// cores (1.0 = perfectly fair, → 0 when one core is starved — the
+    /// §8.1 denial-of-service signature).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the runs have different core counts.
+    pub fn fairness(&self, baseline: &SimResult) -> f64 {
+        assert_eq!(
+            self.core_ipc.len(),
+            baseline.core_ipc.len(),
+            "core counts differ"
+        );
+        let ratios: Vec<f64> = self
+            .core_ipc
+            .iter()
+            .zip(&baseline.core_ipc)
+            .map(|(a, b)| if *b > 0.0 { a / b } else { 0.0 })
+            .collect();
+        let max = ratios.iter().cloned().fold(0.0f64, f64::max);
+        let min = ratios.iter().cloned().fold(f64::INFINITY, f64::min);
+        if max <= 0.0 || !min.is_finite() {
+            0.0
+        } else {
+            min / max
+        }
+    }
+
+    /// DRAM power report for this run.
+    pub fn power_report(
+        &self,
+        timing: &rrs_dram::timing::TimingParams,
+        lines_per_row: usize,
+        ranks: usize,
+    ) -> PowerReport {
+        DramPowerModel::ddr4().report(&self.command_counts, self.cycles, timing, lines_per_row, ranks)
+    }
+}
+
+struct CoreState {
+    time: Cycle,
+    retired: u64,
+    outstanding: VecDeque<Cycle>,
+    finish_time: Option<Cycle>,
+}
+
+/// Runs one simulation: `sources[i]` drives core `i`.
+///
+/// # Panics
+///
+/// Panics if `sources.len()` differs from `config.cores`.
+pub fn run(
+    config: &SystemConfig,
+    mitigation: Box<dyn Mitigation>,
+    mut sources: Vec<Box<dyn TraceSource + '_>>,
+    workload_name: &str,
+) -> SimResult {
+    assert_eq!(
+        sources.len(),
+        config.cores,
+        "one trace source per core required"
+    );
+    let mut mc = MemoryController::new(config.controller.clone(), mitigation);
+    let mitigation_name = mc.mitigation_name().to_string();
+    let mut llc = config.llc.map(Llc::new);
+
+    let mut cores: Vec<CoreState> = (0..config.cores)
+        .map(|_| CoreState {
+            time: 0,
+            retired: 0,
+            outstanding: VecDeque::new(),
+            finish_time: None,
+        })
+        .collect();
+
+    // Min-heap of (next event time, core id).
+    let mut heap: BinaryHeap<Reverse<(Cycle, usize)>> = (0..config.cores)
+        .map(|i| Reverse((0, i)))
+        .collect();
+    let mut read_latency = LatencyStats::new();
+
+    let burst = config.core_burst.max(1);
+    while let Some(Reverse((_, cid))) = heap.pop() {
+        let mut finished = false;
+        for _ in 0..burst {
+            let rec = sources[cid].next_record();
+            let core = &mut cores[cid];
+
+            // Retire the gap at fetch width.
+            core.time += (rec.gap as u64).div_ceil(config.fetch_width as u64);
+
+            // Cache filter (if configured).
+            let mut to_dram = vec![(rec.addr, rec.is_write)];
+            if let Some(llc) = llc.as_mut() {
+                let out = llc.access(rec.addr, rec.is_write);
+                to_dram.clear();
+                if out.hit {
+                    core.time += llc.config().hit_latency;
+                } else {
+                    to_dram.push((rec.addr, rec.is_write));
+                    if let Some(wb) = out.writeback {
+                        to_dram.push((wb, true));
+                    }
+                }
+            }
+
+            for (addr, is_write) in to_dram {
+                let done = mc.access(addr, is_write, core.time);
+                if !is_write {
+                    read_latency.record(done.saturating_sub(core.time).max(1));
+                    core.outstanding.push_back(done);
+                    if core.outstanding.len() >= config.max_outstanding {
+                        let oldest = core.outstanding.pop_front().expect("nonempty");
+                        core.time = core.time.max(oldest);
+                    }
+                }
+            }
+
+            core.retired += rec.instructions();
+            if core.retired >= config.instructions_per_core {
+                // Drain outstanding reads before declaring the core done.
+                let drain = core.outstanding.iter().copied().max().unwrap_or(0);
+                core.finish_time = Some(core.time.max(drain));
+                finished = true;
+                break;
+            }
+        }
+        if !finished {
+            let t = cores[cid].time;
+            heap.push(Reverse((t, cid)));
+        }
+    }
+
+    // Close the accounting epoch so per-epoch statistics include the tail.
+    mc.flush_epoch();
+
+    let core_ipc: Vec<f64> = cores
+        .iter()
+        .map(|c| {
+            let t = c.finish_time.unwrap_or(c.time).max(1);
+            c.retired as f64 / t as f64
+        })
+        .collect();
+    let cycles = cores
+        .iter()
+        .map(|c| c.finish_time.unwrap_or(c.time))
+        .max()
+        .unwrap_or(0);
+    let total_instructions = cores.iter().map(|c| c.retired).sum();
+    let bit_flips = mc.take_bit_flips();
+    let command_counts = mc.command_counts();
+
+    SimResult {
+        workload: workload_name.to_string(),
+        mitigation: mitigation_name,
+        core_ipc,
+        total_instructions,
+        cycles,
+        stats: mc.stats().clone(),
+        bit_flips,
+        command_counts,
+        llc_hit_rate: llc.map(|l| l.hit_rate()),
+        read_latency,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceRecord;
+    use rrs_mem_ctrl::mitigation::NoMitigation;
+
+    fn stream_source(stride: u64, start: u64) -> Box<dyn TraceSource> {
+        let mut addr = start;
+        Box::new(move || {
+            addr += stride;
+            TraceRecord::read(40, addr)
+        })
+    }
+
+    #[test]
+    fn run_completes_and_reports_ipc() {
+        let config = SystemConfig::test_config(10_000);
+        let sources = vec![stream_source(64, 0), stream_source(64, 1 << 24)];
+        let r = run(&config, Box::new(NoMitigation::new()), sources, "stream");
+        assert_eq!(r.core_ipc.len(), 2);
+        assert!(r.total_instructions >= 20_000);
+        assert!(r.aggregate_ipc() > 0.1, "ipc = {}", r.aggregate_ipc());
+        assert!(r.aggregate_ipc() <= 8.0);
+        assert_eq!(r.workload, "stream");
+        assert_eq!(r.mitigation, "none");
+    }
+
+    #[test]
+    fn memory_bound_core_is_slower_than_compute_bound() {
+        let config = SystemConfig::test_config(5_000);
+        // Compute-bound: huge gaps. Memory-bound: no gaps, random rows.
+        let compute = {
+            let mut addr = 0u64;
+            Box::new(move || {
+                addr += 64;
+                TraceRecord::read(400, addr)
+            }) as Box<dyn TraceSource>
+        };
+        let mut x = 7u64;
+        let memory = Box::new(move || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            TraceRecord::read(0, x % (1 << 23))
+        }) as Box<dyn TraceSource>;
+        let r = run(
+            &config,
+            Box::new(NoMitigation::new()),
+            vec![compute, memory],
+            "mixed",
+        );
+        assert!(
+            r.core_ipc[0] > r.core_ipc[1],
+            "compute {} vs memory {}",
+            r.core_ipc[0],
+            r.core_ipc[1]
+        );
+    }
+
+    #[test]
+    fn llc_filters_dram_traffic() {
+        let mut config = SystemConfig::test_config(5_000);
+        config.llc = Some(crate::llc::LlcConfig::tiny_test());
+        config.cores = 1;
+        // A tiny working set fits in the LLC: almost no DRAM traffic.
+        let mut i = 0u64;
+        let src = Box::new(move || {
+            i += 1;
+            TraceRecord::read(10, (i % 16) * 64)
+        }) as Box<dyn TraceSource>;
+        let r = run(&config, Box::new(NoMitigation::new()), vec![src], "cached");
+        assert!(r.llc_hit_rate.unwrap() > 0.9);
+        assert!(r.stats.reads < 100);
+    }
+
+    #[test]
+    fn partial_epoch_is_flushed_into_history() {
+        let config = SystemConfig::test_config(2_000);
+        let sources = vec![stream_source(64, 0), stream_source(64, 1 << 24)];
+        let r = run(&config, Box::new(NoMitigation::new()), sources, "x");
+        assert!(!r.stats.epoch_swap_history.is_empty());
+    }
+
+    #[test]
+    fn multiprogram_metrics_against_self_are_ideal() {
+        let config = SystemConfig::test_config(3_000);
+        let mk = || vec![stream_source(64, 0), stream_source(64, 1 << 24)];
+        let a = run(&config, Box::new(NoMitigation::new()), mk(), "a");
+        let b = run(&config, Box::new(NoMitigation::new()), mk(), "b");
+        assert!((a.weighted_speedup(&b) - 2.0).abs() < 1e-9);
+        assert!((a.fairness(&b) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fairness_detects_a_starved_core() {
+        let config = SystemConfig::test_config(3_000);
+        let fast = vec![stream_source(64, 0), stream_source(64, 1 << 24)];
+        let base = run(&config, Box::new(NoMitigation::new()), fast, "base");
+        // Second core runs a pathological random row-miss stream.
+        let mut x = 7u64;
+        let slow: Vec<Box<dyn TraceSource>> = vec![
+            stream_source(64, 0),
+            Box::new(move || {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                TraceRecord::read(0, x % (1 << 23))
+            }),
+        ];
+        let skewed = run(&config, Box::new(NoMitigation::new()), slow, "skewed");
+        assert!(skewed.fairness(&base) < 0.8, "fairness = {}", skewed.fairness(&base));
+        assert!(skewed.weighted_speedup(&base) < 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one trace source per core")]
+    fn wrong_source_count_panics() {
+        let config = SystemConfig::test_config(100);
+        run(&config, Box::new(NoMitigation::new()), vec![], "bad");
+    }
+}

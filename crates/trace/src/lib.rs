@@ -1,0 +1,431 @@
+#![warn(missing_docs)]
+
+//! Trace file I/O for the RRS simulator.
+//!
+//! The paper's artifact drives USIMM with pre-recorded memory-access traces
+//! (Pin-generated, cache-filtered). This crate provides the equivalent for
+//! this reproduction:
+//!
+//! * a **text format** in the USIMM spirit — one access per line,
+//!   `<gap> <R|W> <hex address>` — human-readable and diffable;
+//! * a compact **binary format** (`RRST`) for long traces;
+//! * [`ReplaySource`], a [`TraceSource`] that replays a loaded trace in
+//!   rate mode (wrapping at the end, as §3's methodology does);
+//! * [`capture`], which records any live generator into a trace file.
+//!
+//! # Example
+//!
+//! ```
+//! use rrs_trace::{ReplaySource, TraceFormat};
+//! use rrs_sim::trace::{TraceRecord, TraceSource};
+//!
+//! let records = vec![TraceRecord::read(10, 0x40), TraceRecord::write(0, 0x80)];
+//! let mut buf = Vec::new();
+//! rrs_trace::write_records(&mut buf, &records, TraceFormat::Text)?;
+//! let loaded = rrs_trace::read_records(&buf[..])?;
+//! assert_eq!(loaded, records);
+//!
+//! let mut replay = ReplaySource::new(loaded, "demo");
+//! assert_eq!(replay.next_record().addr, 0x40);
+//! # Ok::<(), rrs_trace::TraceError>(())
+//! ```
+
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+use rrs_sim::trace::{TraceRecord, TraceSource};
+
+/// Magic bytes of the binary format.
+pub const MAGIC: &[u8; 4] = b"RRST";
+/// Current binary format version.
+pub const VERSION: u32 = 1;
+
+/// On-disk representation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// `<gap> <R|W> <hex address>` per line.
+    Text,
+    /// `RRST` header + fixed 13-byte records.
+    Binary,
+}
+
+/// Errors from trace I/O.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The binary header was not `RRST`.
+    BadMagic([u8; 4]),
+    /// Unsupported binary version.
+    BadVersion(u32),
+    /// A text line failed to parse (1-based line number and content).
+    Parse(usize, String),
+    /// Binary stream ended mid-record.
+    Truncated,
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace i/o error: {e}"),
+            TraceError::BadMagic(m) => write!(f, "bad trace magic {m:?}, expected RRST"),
+            TraceError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
+            TraceError::Parse(line, text) => {
+                write!(f, "cannot parse trace line {line}: {text:?}")
+            }
+            TraceError::Truncated => write!(f, "binary trace truncated mid-record"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+/// Writes `records` to `w` in the chosen format.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Io`] on write failures.
+pub fn write_records<W: Write>(
+    mut w: W,
+    records: &[TraceRecord],
+    format: TraceFormat,
+) -> Result<(), TraceError> {
+    match format {
+        TraceFormat::Text => {
+            for r in records {
+                writeln!(
+                    w,
+                    "{} {} {:#x}",
+                    r.gap,
+                    if r.is_write { 'W' } else { 'R' },
+                    r.addr
+                )?;
+            }
+        }
+        TraceFormat::Binary => {
+            w.write_all(MAGIC)?;
+            w.write_all(&VERSION.to_le_bytes())?;
+            for r in records {
+                w.write_all(&r.gap.to_le_bytes())?;
+                w.write_all(&r.addr.to_le_bytes())?;
+                w.write_all(&[u8::from(r.is_write)])?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Reads a trace from `r`, auto-detecting the format from the first bytes.
+///
+/// # Errors
+///
+/// Returns [`TraceError`] on malformed input.
+pub fn read_records<R: Read>(r: R) -> Result<Vec<TraceRecord>, TraceError> {
+    let mut reader = BufReader::new(r);
+    let mut head = [0u8; 4];
+    let n = read_up_to(&mut reader, &mut head)?;
+    if n == 4 && &head == MAGIC {
+        read_binary_body(reader)
+    } else {
+        read_text_body(&head[..n], reader)
+    }
+}
+
+fn read_up_to<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<usize, TraceError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        let n = r.read(&mut buf[filled..])?;
+        if n == 0 {
+            break;
+        }
+        filled += n;
+    }
+    Ok(filled)
+}
+
+fn read_binary_body<R: BufRead>(mut r: R) -> Result<Vec<TraceRecord>, TraceError> {
+    let mut version = [0u8; 4];
+    if read_up_to(&mut r, &mut version)? != 4 {
+        return Err(TraceError::Truncated);
+    }
+    let version = u32::from_le_bytes(version);
+    if version != VERSION {
+        return Err(TraceError::BadVersion(version));
+    }
+    let mut records = Vec::new();
+    loop {
+        let mut rec = [0u8; 13];
+        match read_up_to(&mut r, &mut rec)? {
+            0 => break,
+            13 => {
+                records.push(TraceRecord {
+                    gap: u32::from_le_bytes(rec[0..4].try_into().expect("4 bytes")),
+                    addr: u64::from_le_bytes(rec[4..12].try_into().expect("8 bytes")),
+                    is_write: rec[12] != 0,
+                });
+            }
+            _ => return Err(TraceError::Truncated),
+        }
+    }
+    Ok(records)
+}
+
+fn read_text_body<R: BufRead>(head: &[u8], r: R) -> Result<Vec<TraceRecord>, TraceError> {
+    let mut text = String::from_utf8_lossy(head).into_owned();
+    let mut rest = String::new();
+    let mut r = r;
+    r.read_to_string(&mut rest)?;
+    text.push_str(&rest);
+    let mut records = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        records.push(parse_text_line(line).ok_or_else(|| TraceError::Parse(i + 1, line.into()))?);
+    }
+    Ok(records)
+}
+
+fn parse_text_line(line: &str) -> Option<TraceRecord> {
+    let mut parts = line.split_whitespace();
+    let gap: u32 = parts.next()?.parse().ok()?;
+    let is_write = match parts.next()? {
+        "R" | "r" => false,
+        "W" | "w" => true,
+        _ => return None,
+    };
+    let addr_str = parts.next()?;
+    let addr = if let Some(hex) = addr_str.strip_prefix("0x").or(addr_str.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()?
+    } else {
+        addr_str.parse().ok()?
+    };
+    parts.next().is_none().then_some(TraceRecord {
+        gap,
+        addr,
+        is_write,
+    })
+}
+
+/// Loads a trace file (auto-detecting format).
+///
+/// # Errors
+///
+/// Returns [`TraceError`] on I/O or parse failures.
+pub fn load(path: impl AsRef<Path>) -> Result<Vec<TraceRecord>, TraceError> {
+    read_records(std::fs::File::open(path)?)
+}
+
+/// Saves a trace file.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Io`] on write failures.
+pub fn save(
+    path: impl AsRef<Path>,
+    records: &[TraceRecord],
+    format: TraceFormat,
+) -> Result<(), TraceError> {
+    let mut file = io::BufWriter::new(std::fs::File::create(path)?);
+    write_records(&mut file, records, format)?;
+    file.flush()?;
+    Ok(())
+}
+
+/// Captures `n` records from a live source (e.g. a calibrated synthetic
+/// generator) so they can be replayed deterministically later.
+pub fn capture(source: &mut dyn TraceSource, n: usize) -> Vec<TraceRecord> {
+    (0..n).map(|_| source.next_record()).collect()
+}
+
+/// Replays a recorded trace as a [`TraceSource`], wrapping at the end
+/// (rate mode: "we continue executing these benchmarks until all cores
+/// complete", §3).
+#[derive(Debug, Clone)]
+pub struct ReplaySource {
+    records: Vec<TraceRecord>,
+    cursor: usize,
+    name: String,
+    /// Completed passes over the trace.
+    wraps: u64,
+}
+
+impl ReplaySource {
+    /// Creates a replay source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `records` is empty (an empty trace cannot drive a core).
+    pub fn new(records: Vec<TraceRecord>, name: impl Into<String>) -> Self {
+        assert!(!records.is_empty(), "cannot replay an empty trace");
+        ReplaySource {
+            records,
+            cursor: 0,
+            name: name.into(),
+            wraps: 0,
+        }
+    }
+
+    /// Number of records in one pass.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the trace is empty (never true; kept for API convention).
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Completed passes over the trace.
+    pub fn wraps(&self) -> u64 {
+        self.wraps
+    }
+}
+
+impl TraceSource for ReplaySource {
+    fn next_record(&mut self) -> TraceRecord {
+        let r = self.records[self.cursor];
+        self.cursor += 1;
+        if self.cursor == self.records.len() {
+            self.cursor = 0;
+            self.wraps += 1;
+        }
+        r
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<TraceRecord> {
+        vec![
+            TraceRecord::read(0, 0x40),
+            TraceRecord::write(17, 0xdead_bee0),
+            TraceRecord::read(4_000_000, !63),
+        ]
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let mut buf = Vec::new();
+        write_records(&mut buf, &sample(), TraceFormat::Binary).unwrap();
+        assert_eq!(&buf[..4], MAGIC);
+        assert_eq!(read_records(&buf[..]).unwrap(), sample());
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let mut buf = Vec::new();
+        write_records(&mut buf, &sample(), TraceFormat::Text).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.lines().count() == 3);
+        assert!(text.contains("17 W"));
+        assert_eq!(read_records(&buf[..]).unwrap(), sample());
+    }
+
+    #[test]
+    fn text_accepts_comments_blank_lines_and_decimal() {
+        let input = "# a comment\n\n5 R 0x100\n7 W 256\n";
+        let records = read_records(input.as_bytes()).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].addr, 0x100);
+        assert_eq!(records[1].addr, 256);
+        assert!(records[1].is_write);
+    }
+
+    #[test]
+    fn malformed_text_reports_line() {
+        let input = "5 R 0x100\nnot a record\n";
+        match read_records(input.as_bytes()) {
+            Err(TraceError::Parse(line, text)) => {
+                assert_eq!(line, 2);
+                assert!(text.contains("not a record"));
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_binary_is_detected() {
+        let mut buf = Vec::new();
+        write_records(&mut buf, &sample(), TraceFormat::Binary).unwrap();
+        buf.truncate(buf.len() - 5);
+        assert!(matches!(read_records(&buf[..]), Err(TraceError::Truncated)));
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            read_records(&buf[..]),
+            Err(TraceError::BadVersion(99))
+        ));
+    }
+
+    #[test]
+    fn replay_wraps_in_rate_mode() {
+        let mut replay = ReplaySource::new(sample(), "wrap");
+        for _ in 0..7 {
+            replay.next_record();
+        }
+        assert_eq!(replay.wraps(), 2);
+        assert_eq!(replay.next_record(), sample()[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty trace")]
+    fn empty_replay_panics() {
+        let _ = ReplaySource::new(vec![], "empty");
+    }
+
+    #[test]
+    fn file_save_and_load() {
+        let dir = std::env::temp_dir().join("rrs_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        for (format, name) in [(TraceFormat::Binary, "t.rrst"), (TraceFormat::Text, "t.txt")] {
+            let path = dir.join(name);
+            save(&path, &sample(), format).unwrap();
+            assert_eq!(load(&path).unwrap(), sample());
+        }
+    }
+
+    #[test]
+    fn capture_records_from_generator() {
+        let mut i = 0u64;
+        let mut gen = move || {
+            i += 64;
+            TraceRecord::read(1, i)
+        };
+        let records = capture(&mut gen, 10);
+        assert_eq!(records.len(), 10);
+        assert_eq!(records[9].addr, 640);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        assert!(TraceError::BadMagic(*b"NOPE").to_string().contains("RRST"));
+        assert!(TraceError::Truncated.to_string().contains("truncated"));
+    }
+}

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper into results/ — the
+# equivalent of the original artifact's run_artifact.sh.
+#
+# Usage: ./regenerate.sh [SCALE] [INSTR]
+#   SCALE  time-scale factor (default 100; must divide 800; 1 = the paper's
+#          full-scale parameters — slower but exact)
+#   INSTR  instructions per core for benign runs (default 6000000)
+set -euo pipefail
+
+SCALE="${1:-100}"
+INSTR="${2:-6000000}"
+OUT=results
+mkdir -p "$OUT"
+
+echo "building (release)..."
+cargo build --release -p bench
+
+run() {
+    local name="$1"; shift
+    echo "== $name =="
+    cargo run -q --release -p bench --bin "$name" -- "$@" | tee "$OUT/$name.txt"
+}
+
+run table1
+run table2
+run table3 --scale "$SCALE" --instr "$INSTR" --workloads all
+run table4 --validate
+run table5
+run table6 --scale "$SCALE" --instr "$INSTR" --workloads all
+run table7 --scale "$SCALE" --epochs 2
+run fig5  --scale "$SCALE" --instr "$INSTR" --workloads all --csv "$OUT/fig5.csv"
+run fig6  --scale "$SCALE" --instr "$INSTR" --workloads all --csv "$OUT/fig6.csv"
+run fig9
+run fig10 --scale "$SCALE" --instr "$INSTR" --workloads 12
+run fig11 --scale "$SCALE" --instr "$INSTR" --workloads all
+run dos   --scale "$SCALE"
+run security_sweep --workloads 6 --scale "$SCALE" --instr "$INSTR"
+run tracker_ablation
+run rowclone --scale "$SCALE" --instr "$INSTR" --workloads 8
+run scheduler_ablation --scale "$SCALE" --instr "$INSTR" --workloads 6
+run detector_study --scale "$SCALE" --instr "$INSTR" --workloads 10
+run fullscale_attack
+run duty_cycle
+
+echo
+echo "all outputs in $OUT/ — compare against EXPERIMENTS.md"
