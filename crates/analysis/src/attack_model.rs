@@ -17,8 +17,7 @@
 //! (for validating the closed form at small `k`) and the duty-cycle model
 //! (`D`) for single-bank and all-bank attacks.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rrs_core::rng::DetRng;
 
 use crate::math::ln_binomial_pmf;
 
@@ -115,7 +114,10 @@ impl AttackModel {
 
     /// The three design points of Table 4 (`k` = 5, 6, 7).
     pub fn table4(&self) -> Vec<Table4Row> {
-        [960, 800, 685].iter().map(|&t| self.table4_row(t)).collect()
+        [960, 800, 685]
+            .iter()
+            .map(|&t| self.table4_row(t))
+            .collect()
     }
 
     /// The all-bank variant of the `k = 6` analysis (§5.3.2: 16× more
@@ -165,13 +167,13 @@ impl AttackModel {
     ) -> f64 {
         let b = self.balls_per_window(t, duty_cycle);
         let n = self.rows_per_bank;
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = DetRng::seed_from_u64(seed);
         let mut total = 0u64;
         let mut counts = vec![0u8; n as usize];
         for _ in 0..trials {
             counts.iter_mut().for_each(|c| *c = 0);
             for _ in 0..b {
-                let i = rng.random_range(0..n) as usize;
+                let i = rng.next_below(n) as usize;
                 counts[i] = counts[i].saturating_add(1);
             }
             total += counts.iter().filter(|&&c| c as u64 >= k).count() as u64;
@@ -264,7 +266,11 @@ mod tests {
             "AT_iter = {:e}",
             row.attack_iterations
         );
-        assert!((500.0..1000.0).contains(&row.years()), "years = {}", row.years());
+        assert!(
+            (500.0..1000.0).contains(&row.years()),
+            "years = {}",
+            row.years()
+        );
     }
 
     #[test]

@@ -14,8 +14,7 @@
 //! ways) grows double-exponentially with `E` — each extra way roughly
 //! squares it.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rrs_core::rng::DetRng;
 
 /// Parameters of the CAT conflict experiment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,7 +53,7 @@ impl CatModel {
         seed: u64,
     ) -> Option<u64> {
         let ways = self.demand_ways + extra_ways;
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = DetRng::seed_from_u64(seed);
         // occupancy[table][set]
         let mut occ = vec![vec![0u16; self.sets]; 2];
         // Resident balls as (table, set), enabling random eviction.
@@ -62,8 +61,8 @@ impl CatModel {
 
         // Warm-up: fill to demand capacity with two-choice placement.
         while balls.len() < self.capacity() {
-            let s0 = rng.random_range(0..self.sets);
-            let s1 = rng.random_range(0..self.sets);
+            let s0 = rng.next_below(self.sets as u64) as usize;
+            let s1 = rng.next_below(self.sets as u64) as usize;
             let (o0, o1) = (occ[0][s0], occ[1][s1]);
             if o0 as usize >= ways && o1 as usize >= ways {
                 continue; // re-roll: warm-up is conflict-free by construction
@@ -75,12 +74,12 @@ impl CatModel {
 
         for installs in 1..=max_installs {
             // Steady state: evict a random resident ball, then install.
-            let i = rng.random_range(0..balls.len());
+            let i = rng.next_below(balls.len() as u64) as usize;
             let (t, s) = balls.swap_remove(i);
             occ[t as usize][s as usize] -= 1;
 
-            let s0 = rng.random_range(0..self.sets);
-            let s1 = rng.random_range(0..self.sets);
+            let s0 = rng.next_below(self.sets as u64) as usize;
+            let s1 = rng.next_below(self.sets as u64) as usize;
             let (o0, o1) = (occ[0][s0], occ[1][s1]);
             if o0 as usize >= ways && o1 as usize >= ways {
                 return Some(installs);

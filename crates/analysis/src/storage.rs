@@ -71,8 +71,7 @@ pub fn storage_breakdown(
     // Two row-sized swap buffers per channel, amortized over the banks of
     // the channel.
     let banks_per_channel = geometry.ranks_per_channel * geometry.banks_per_rank;
-    let swap_buffer_kib =
-        2.0 * geometry.row_size_bytes as f64 / 1024.0 / banks_per_channel as f64;
+    let swap_buffer_kib = 2.0 * geometry.row_size_bytes as f64 / 1024.0 / banks_per_channel as f64;
 
     let bits_to_kib = |bits: u64| bits as f64 / 8.0 / 1024.0;
 
@@ -121,7 +120,11 @@ mod tests {
         let rit = &t.rows[0];
         assert_eq!(rit.entry_bits, 28, "RIT entry bits");
         assert_eq!(rit.entries, 2 * 256 * 20);
-        assert!((rit.kib_per_bank - 35.0).abs() < 0.5, "RIT = {} KiB", rit.kib_per_bank);
+        assert!(
+            (rit.kib_per_bank - 35.0).abs() < 0.5,
+            "RIT = {} KiB",
+            rit.kib_per_bank
+        );
     }
 
     #[test]
@@ -141,7 +144,11 @@ mod tests {
     fn table5_swap_buffers_are_1_kib_amortized() {
         let t = table5();
         let sb = &t.rows[2];
-        assert!((sb.kib_per_bank - 1.0).abs() < 0.01, "buffers = {} KiB", sb.kib_per_bank);
+        assert!(
+            (sb.kib_per_bank - 1.0).abs() < 0.01,
+            "buffers = {} KiB",
+            sb.kib_per_bank
+        );
     }
 
     #[test]

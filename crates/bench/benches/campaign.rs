@@ -1,0 +1,59 @@
+//! Campaign-engine scaling: wall-clock for the same smoke-scale grid run
+//! serially (1 thread) and in parallel (available cores).
+//!
+//! Campaign cells are independent simulations, so the grid should scale
+//! close to linearly until the core count exceeds the cell count; this
+//! bench reports the measured speedup (recorded in EXPERIMENTS.md).
+//!
+//! `cargo bench -p bench --bench campaign [-- --quick]`
+
+use std::time::Instant;
+
+use rrs::campaign::{Campaign, RunOptions};
+use rrs::experiments::{ExperimentConfig, MitigationKind};
+use rrs::workloads::catalog::table3_workloads;
+
+fn smoke_grid(workloads: usize) -> Campaign {
+    let mut cfg = ExperimentConfig::smoke_test();
+    cfg.instructions_per_core = 60_000;
+    let mut campaign = Campaign::new();
+    for w in table3_workloads().into_iter().take(workloads) {
+        campaign.normalized_pair(cfg, w, MitigationKind::Rrs);
+    }
+    campaign
+}
+
+fn time_run(campaign: &Campaign, threads: usize) -> f64 {
+    let opts = RunOptions::quiet().with_threads(threads);
+    let start = Instant::now();
+    let run = campaign.run(&opts);
+    let elapsed = start.elapsed().as_secs_f64();
+    assert_eq!(run.len(), campaign.len());
+    elapsed
+}
+
+fn main() {
+    let quick =
+        std::env::args().any(|a| a == "--quick") || std::env::var_os("RRS_BENCH_QUICK").is_some();
+    let workloads = if quick { 4 } else { 8 };
+    let campaign = smoke_grid(workloads);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    println!(
+        "campaign grid: {} cells ({} workloads x 2 defenses), {} cores available",
+        campaign.len(),
+        workloads,
+        cores
+    );
+    // Warm-up run so first-touch costs (page faults, allocator growth)
+    // don't land on the serial measurement.
+    time_run(&campaign, cores);
+
+    let serial = time_run(&campaign, 1);
+    let parallel = time_run(&campaign, cores);
+    println!("serial   (1 thread)  : {serial:>8.2} s");
+    println!("parallel ({cores:>2} threads): {parallel:>8.2} s");
+    println!("speedup              : {:>8.2}x", serial / parallel);
+}

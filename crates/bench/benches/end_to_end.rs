@@ -1,11 +1,11 @@
-//! Criterion end-to-end benchmarks: memory-controller access paths and
-//! full simulation slices under each mitigation, plus the ablations
-//! DESIGN.md calls out (CAM vs CAT tracker, buffered vs RowClone swaps,
-//! tracked vs probabilistic RRS).
+//! End-to-end benchmarks: memory-controller access paths and full
+//! simulation slices under each mitigation, plus the ablations DESIGN.md
+//! calls out (CAM vs CAT tracker, buffered vs RowClone swaps, tracked vs
+//! probabilistic RRS).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
+use bench::harness::Harness;
 use rrs::core::swap::{SwapEngine, SwapMode};
 use rrs::core::tracker::{CamTracker, CatTracker, HotRowTracker, TrackerConfig};
 use rrs::dram::geometry::RowAddr;
@@ -15,10 +15,12 @@ use rrs::mem_ctrl::controller::{ControllerConfig, MemoryController};
 use rrs::mem_ctrl::mitigation::NoMitigation;
 use rrs::workloads::catalog::{spec_by_name, Workload};
 
-fn bench_controller_paths(c: &mut Criterion) {
-    c.bench_function("controller/row_hit_stream", |b| {
-        let mut mc =
-            MemoryController::new(ControllerConfig::test_config(), Box::new(NoMitigation::new()));
+fn bench_controller_paths(h: &mut Harness) {
+    h.bench("controller/row_hit_stream", |b| {
+        let mut mc = MemoryController::new(
+            ControllerConfig::test_config(),
+            Box::new(NoMitigation::new()),
+        );
         let mut now = 0;
         let mut col = 0u64;
         b.iter(|| {
@@ -27,9 +29,11 @@ fn bench_controller_paths(c: &mut Criterion) {
             black_box(now)
         })
     });
-    c.bench_function("controller/row_miss_pingpong", |b| {
-        let mut mc =
-            MemoryController::new(ControllerConfig::test_config(), Box::new(NoMitigation::new()));
+    h.bench("controller/row_miss_pingpong", |b| {
+        let mut mc = MemoryController::new(
+            ControllerConfig::test_config(),
+            Box::new(NoMitigation::new()),
+        );
         let mapper = *mc.mapper();
         let a = mapper.row_base(RowAddr::new(0, 0, 0, 100));
         let bb = mapper.row_base(RowAddr::new(0, 0, 0, 500));
@@ -43,55 +47,42 @@ fn bench_controller_paths(c: &mut Criterion) {
     });
 }
 
-fn bench_mitigated_epochs(c: &mut Criterion) {
+fn bench_mitigated_epochs(h: &mut Harness) {
     // One scaled attack epoch under each mitigation: measures simulator
     // throughput including the defense's bookkeeping.
     let cfg = ExperimentConfig::smoke_test();
-    let mut group = c.benchmark_group("attack_epoch");
-    group.sample_size(10);
     for kind in [
         MitigationKind::None,
         MitigationKind::Rrs,
         MitigationKind::VictimRefresh,
         MitigationKind::BlockHammer512,
     ] {
-        group.bench_function(format!("{kind:?}"), |b| {
-            b.iter(|| {
-                black_box(cfg.run_attack(
-                    rrs::workloads::AttackKind::DoubleSided,
-                    kind,
-                    1,
-                ))
-            })
+        h.bench(&format!("attack_epoch/{kind:?}"), |b| {
+            b.iter(|| black_box(cfg.run_attack(rrs::workloads::AttackKind::DoubleSided, kind, 1)))
         });
     }
-    group.finish();
 }
 
-fn bench_benign_slice(c: &mut Criterion) {
+fn bench_benign_slice(h: &mut Harness) {
     let cfg = ExperimentConfig::smoke_test().with_instructions(50_000);
     let w = Workload::Single(spec_by_name("sphinx").unwrap());
-    let mut group = c.benchmark_group("benign_slice");
-    group.sample_size(10);
     for kind in [MitigationKind::None, MitigationKind::Rrs] {
-        group.bench_function(format!("{kind:?}"), |b| {
+        h.bench(&format!("benign_slice/{kind:?}"), |b| {
             b.iter(|| black_box(cfg.run_workload(&w, kind)))
         });
     }
-    group.finish();
 }
 
 /// Ablation: the Graphene CAM formulation vs the paper's scalable CAT
 /// tracker (§6: the CAM "is not scalable beyond a few dozens of entries"
 /// in hardware; in software the comparison shows the cost of the SetMin
 /// bookkeeping).
-fn bench_ablation_trackers(c: &mut Criterion) {
+fn bench_ablation_trackers(h: &mut Harness) {
     let cfg = TrackerConfig {
         entries: 1_700,
         threshold: 800,
     };
-    let mut group = c.benchmark_group("ablation_tracker");
-    group.bench_function("cam", |b| {
+    h.bench("ablation_tracker/cam", |b| {
         b.iter_batched(
             || CamTracker::new(cfg),
             |mut t| {
@@ -102,10 +93,9 @@ fn bench_ablation_trackers(c: &mut Criterion) {
                 }
                 t
             },
-            BatchSize::SmallInput,
         )
     });
-    group.bench_function("cat", |b| {
+    h.bench("ablation_tracker/cat", |b| {
         b.iter_batched(
             || CatTracker::new(cfg),
             |mut t| {
@@ -116,18 +106,18 @@ fn bench_ablation_trackers(c: &mut Criterion) {
                 }
                 t
             },
-            BatchSize::SmallInput,
         )
     });
-    group.finish();
 }
 
 /// Ablation: buffered swaps vs RowClone-accelerated swaps (§8.1).
-fn bench_ablation_swap_modes(c: &mut Criterion) {
+fn bench_ablation_swap_modes(h: &mut Harness) {
     let timing = TimingParams::ddr4_3200();
-    let mut group = c.benchmark_group("ablation_swap_mode");
-    for (name, mode) in [("buffered", SwapMode::Buffered), ("rowclone", SwapMode::RowClone)] {
-        group.bench_function(name, |b| {
+    for (name, mode) in [
+        ("buffered", SwapMode::Buffered),
+        ("rowclone", SwapMode::RowClone),
+    ] {
+        h.bench(&format!("ablation_swap_mode/{name}"), |b| {
             let mut engine = SwapEngine::new(&timing, 8 * 1024, mode);
             let mut now = 0u64;
             b.iter(|| {
@@ -137,15 +127,14 @@ fn bench_ablation_swap_modes(c: &mut Criterion) {
             })
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_controller_paths,
-    bench_mitigated_epochs,
-    bench_benign_slice,
-    bench_ablation_trackers,
-    bench_ablation_swap_modes
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args();
+    bench_controller_paths(&mut h);
+    bench_mitigated_epochs(&mut h);
+    bench_benign_slice(&mut h);
+    bench_ablation_trackers(&mut h);
+    bench_ablation_swap_modes(&mut h);
+    h.finish();
+}

@@ -1,10 +1,10 @@
-//! Criterion micro-benchmarks of the RRS hardware structures: the latency-
-//! critical operations the paper budgets (RIT lookup on every access,
-//! tracker update on every activation, PRINCE < 2 ns in hardware).
+//! Micro-benchmarks of the RRS hardware structures: the latency-critical
+//! operations the paper budgets (RIT lookup on every access, tracker
+//! update on every activation, PRINCE < 2 ns in hardware).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
+use bench::harness::Harness;
 use rrs::core::cat::{Cat, CatConfig};
 use rrs::core::prince::Prince;
 use rrs::core::prng::PrinceCtrRng;
@@ -14,16 +14,16 @@ use rrs::core::swap::{SwapEngine, SwapMode};
 use rrs::core::tracker::{CatTracker, HotRowTracker, TrackerConfig};
 use rrs::dram::timing::TimingParams;
 
-fn bench_prince(c: &mut Criterion) {
+fn bench_prince(h: &mut Harness) {
     let cipher = Prince::new(0x0123_4567_89ab_cdef_fedc_ba98_7654_3210);
-    c.bench_function("prince/encrypt", |b| {
+    h.bench("prince/encrypt", |b| {
         let mut x = 0u64;
         b.iter(|| {
             x = x.wrapping_add(1);
             black_box(cipher.encrypt(x))
         })
     });
-    c.bench_function("prince/decrypt", |b| {
+    h.bench("prince/decrypt", |b| {
         let mut x = 0u64;
         b.iter(|| {
             x = x.wrapping_add(1);
@@ -31,33 +31,33 @@ fn bench_prince(c: &mut Criterion) {
         })
     });
     let mut rng = PrinceCtrRng::new(42);
-    c.bench_function("prng/next_below_128k", |b| {
+    h.bench("prng/next_below_128k", |b| {
         b.iter(|| black_box(rng.next_below(128 * 1024)))
     });
 }
 
-fn bench_cat(c: &mut Criterion) {
+fn bench_cat(h: &mut Harness) {
     // The paper's RIT shape: 2 tables x 256 sets x 20 ways.
     let cfg = CatConfig::rit_asplos22();
     let mut cat: Cat<u64> = Cat::new(cfg);
     for tag in 0..6_000u64 {
         cat.insert(tag, tag).unwrap();
     }
-    c.bench_function("cat/lookup_hit", |b| {
+    h.bench("cat/lookup_hit", |b| {
         let mut tag = 0u64;
         b.iter(|| {
             tag = (tag + 1) % 6_000;
             black_box(cat.get(tag))
         })
     });
-    c.bench_function("cat/lookup_miss", |b| {
+    h.bench("cat/lookup_miss", |b| {
         let mut tag = 1_000_000u64;
         b.iter(|| {
             tag += 1;
             black_box(cat.get(tag))
         })
     });
-    c.bench_function("cat/insert_remove", |b| {
+    h.bench("cat/insert_remove", |b| {
         let mut tag = 2_000_000u64;
         b.iter(|| {
             tag += 1;
@@ -67,16 +67,16 @@ fn bench_cat(c: &mut Criterion) {
     });
 }
 
-fn bench_tracker(c: &mut Criterion) {
+fn bench_tracker(h: &mut Harness) {
     let cfg = TrackerConfig {
         entries: 1_700,
         threshold: 800,
     };
-    c.bench_function("tracker/hot_row_access", |b| {
+    h.bench("tracker/hot_row_access", |b| {
         let mut t = CatTracker::new(cfg);
         b.iter(|| black_box(t.record_access(7)))
     });
-    c.bench_function("tracker/scattered_access", |b| {
+    h.bench("tracker/scattered_access", |b| {
         let mut t = CatTracker::new(cfg);
         let mut row = 0u64;
         b.iter(|| {
@@ -86,8 +86,8 @@ fn bench_tracker(c: &mut Criterion) {
     });
 }
 
-fn bench_rit(c: &mut Criterion) {
-    c.bench_function("rit/resolve_mapped", |b| {
+fn bench_rit(h: &mut Harness) {
+    h.bench("rit/resolve_mapped", |b| {
         let mut rit = RowIndirectionTable::new(3_400, 0x1234);
         for i in 0..1_000u64 {
             rit.swap(i, 100_000 + i).unwrap();
@@ -98,7 +98,7 @@ fn bench_rit(c: &mut Criterion) {
             black_box(rit.resolve(row))
         })
     });
-    c.bench_function("rit/swap_and_back", |b| {
+    h.bench("rit/swap_and_back", |b| {
         let mut rit = RowIndirectionTable::new(3_400, 0x5678);
         b.iter(|| {
             rit.swap(1, 2).unwrap();
@@ -107,9 +107,9 @@ fn bench_rit(c: &mut Criterion) {
     });
 }
 
-fn bench_bank_rrs(c: &mut Criterion) {
+fn bench_bank_rrs(h: &mut Harness) {
     let cfg = RrsConfig::asplos22();
-    c.bench_function("bank_rrs/activation_cold", |b| {
+    h.bench("bank_rrs/activation_cold", |b| {
         let mut bank = BankRrs::new(cfg, 0);
         let mut row = 0u64;
         b.iter(|| {
@@ -117,7 +117,7 @@ fn bench_bank_rrs(c: &mut Criterion) {
             black_box(bank.on_activation(row))
         })
     });
-    c.bench_function("bank_rrs/hammer_with_swaps", |b| {
+    h.bench("bank_rrs/hammer_with_swaps", |b| {
         b.iter_batched(
             || BankRrs::new(cfg, 0),
             |mut bank| {
@@ -126,14 +126,13 @@ fn bench_bank_rrs(c: &mut Criterion) {
                 }
                 bank
             },
-            BatchSize::SmallInput,
         )
     });
 }
 
-fn bench_swap_engine(c: &mut Criterion) {
+fn bench_swap_engine(h: &mut Harness) {
     let timing = TimingParams::ddr4_3200();
-    c.bench_function("swap_engine/record_swap", |b| {
+    h.bench("swap_engine/record_swap", |b| {
         let mut e = SwapEngine::new(&timing, 8 * 1024, SwapMode::Buffered);
         let mut now = 0;
         b.iter(|| {
@@ -143,13 +142,13 @@ fn bench_swap_engine(c: &mut Criterion) {
     });
 }
 
-criterion_group!(
-    benches,
-    bench_prince,
-    bench_cat,
-    bench_tracker,
-    bench_rit,
-    bench_bank_rrs,
-    bench_swap_engine
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args();
+    bench_prince(&mut h);
+    bench_cat(&mut h);
+    bench_tracker(&mut h);
+    bench_rit(&mut h);
+    bench_bank_rrs(&mut h);
+    bench_swap_engine(&mut h);
+    h.finish();
+}

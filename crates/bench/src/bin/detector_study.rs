@@ -69,7 +69,12 @@ fn main() {
         let mapper = rrs::mem_ctrl::mapping::AddressMapper::new(geometry);
         let attacker: Vec<Box<dyn TraceSource>> =
             vec![Box::new(Attack::new(attack, mapper, args.config.seed))];
-        let r = rrs::sim::run(&attack_sys, Box::new(mk_rrs(alarm)), attacker, "swap-chasing");
+        let r = rrs::sim::run(
+            &attack_sys,
+            Box::new(mk_rrs(alarm)),
+            attacker,
+            "swap-chasing",
+        );
         let detected = r.stats.full_refreshes > 0;
         println!(
             "{:<18} {:>16} {:>18}",
@@ -96,8 +101,11 @@ fn main() {
     attack_sys.cores = 1;
     attack_sys.instructions_per_core = timing.epoch / timing.t_rc;
     let mapper = rrs::mem_ctrl::mapping::AddressMapper::new(geometry);
-    let attacker: Vec<Box<dyn TraceSource>> =
-        vec![Box::new(Attack::new(AttackKind::Dos, mapper, args.config.seed))];
+    let attacker: Vec<Box<dyn TraceSource>> = vec![Box::new(Attack::new(
+        AttackKind::Dos,
+        mapper,
+        args.config.seed,
+    ))];
     let r = rrs::sim::run(&attack_sys, Box::new(mk_rrs(3)), attacker, "dos");
     println!(
         "  dos attack, alarm=3: {} full refreshes over {} accesses",

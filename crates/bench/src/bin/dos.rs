@@ -9,6 +9,7 @@
 //! `cargo run --release -p bench --bin dos [--epochs N] [--scale N]`
 
 use bench::{header, Args};
+use rrs::campaign::Campaign;
 use rrs::experiments::MitigationKind;
 use rrs::workloads::AttackKind;
 
@@ -17,11 +18,34 @@ fn main() {
     // This experiment is about the absolute mitigation latencies (20 µs
     // delays vs 1.46 µs swaps), so the swap cost is not scaled.
     args.config = args.config.with_full_swap_cost();
-    header("§8.1: Denial-of-Service Exposure Under Attack", &args.config);
+    header(
+        "§8.1: Denial-of-Service Exposure Under Attack",
+        &args.config,
+    );
 
-    let base = args
-        .config
-        .run_attack(AttackKind::Dos, MitigationKind::None, args.epochs);
+    let mut campaign = Campaign::new();
+    let base_cell = campaign.attack(
+        args.config,
+        AttackKind::Dos,
+        MitigationKind::None,
+        args.epochs,
+    );
+    let defended: Vec<(usize, &str)> = [
+        (MitigationKind::Rrs, "~2x"),
+        (MitigationKind::BlockHammer512, "~200x"),
+        (MitigationKind::BlockHammer1k, "~200x"),
+    ]
+    .into_iter()
+    .map(|(kind, paper)| {
+        (
+            campaign.attack(args.config, AttackKind::Dos, kind, args.epochs),
+            paper,
+        )
+    })
+    .collect();
+    let run = campaign.run(&args.run_opts);
+
+    let base = run.get(base_cell);
     println!(
         "{:<14} {:>14} {:>12} {:>12} {:>10} {:>10}",
         "defense", "cycles", "slowdown", "paper", "p50 lat", "p99 lat"
@@ -30,27 +54,23 @@ fn main() {
     println!(
         "{:<14} {:>14} {:>12} {:>12} {:>10} {:>10}",
         "none",
-        base.result.cycles,
+        base.cycles,
         "1.0x",
         "1x",
-        base.result.read_latency.p50(),
-        base.result.read_latency.p99()
+        base.read_latency.p50(),
+        base.read_latency.p99()
     );
-    for (kind, paper) in [
-        (MitigationKind::Rrs, "~2x"),
-        (MitigationKind::BlockHammer512, "~200x"),
-        (MitigationKind::BlockHammer1k, "~200x"),
-    ] {
-        let r = args.config.run_attack(AttackKind::Dos, kind, args.epochs);
-        assert_eq!(r.result.total_instructions, base.result.total_instructions);
+    for (cell, paper) in defended {
+        let r = run.get(cell);
+        assert_eq!(r.total_instructions, base.total_instructions);
         println!(
             "{:<14} {:>14} {:>11.1}x {:>12} {:>10} {:>10}",
-            r.result.mitigation,
-            r.result.cycles,
-            r.result.cycles as f64 / base.result.cycles as f64,
+            r.mitigation,
+            r.cycles,
+            r.cycles as f64 / base.cycles as f64,
             paper,
-            r.result.read_latency.p50(),
-            r.result.read_latency.p99()
+            r.read_latency.p50(),
+            r.read_latency.p99()
         );
     }
     println!(

@@ -85,7 +85,12 @@ fn main() {
         let mapper = rrs::mem_ctrl::AddressMapper::new(sys.controller.geometry);
         let attacker: Vec<Box<dyn TraceSource>> =
             vec![Box::new(MultiBankAttack::new(&mapper, banks))];
-        let r = rrs::sim::run(&sys, cfg.build_mitigation(MitigationKind::Rrs), attacker, label);
+        let r = rrs::sim::run(
+            &sys,
+            cfg.build_mitigation(MitigationKind::Rrs),
+            attacker,
+            label,
+        );
         // D = achieved activations / the tRC-limited maximum over the
         // attacked banks for the elapsed time.
         let epochs = r.cycles as f64 / timing.epoch as f64;

@@ -12,7 +12,10 @@ use rrs::experiments::MitigationKind;
 
 fn main() {
     let args = Args::parse();
-    header("Figure 10: Performance of RRS across RH-Threshold", &args.config);
+    header(
+        "Figure 10: Performance of RRS across RH-Threshold",
+        &args.config,
+    );
 
     let paper = [4.5, 2.2, 0.4, 0.0, 0.0];
     println!(
@@ -20,10 +23,16 @@ fn main() {
         "T_RH", "T_RRS", "slowdown", "paper"
     );
     println!("{}", "-".repeat(52));
-    for (mult, p) in [(0.25, paper[0]), (0.5, paper[1]), (1.0, paper[2]), (2.0, paper[3]), (4.0, paper[4])] {
+    for (mult, p) in [
+        (0.25, paper[0]),
+        (0.5, paper[1]),
+        (1.0, paper[2]),
+        (2.0, paper[3]),
+        (4.0, paper[4]),
+    ] {
         let t_rh_full = (4_800.0 * mult) as u64;
         let cfg = args.config.with_t_rh(t_rh_full);
-        let runs = run_normalized(&cfg, &args.workloads, MitigationKind::Rrs, |_| {});
+        let runs = run_normalized(&cfg, &args.workloads, MitigationKind::Rrs, &args.run_opts);
         let overall = suite_geomeans(&runs).last().unwrap().1;
         println!(
             "{:<12} {:>10} {:>11.2}% {:>13.1}%",

@@ -7,7 +7,8 @@
 //!
 //! `cargo run --release -p bench --bin fig11 [--workloads all] [--scale N]`
 
-use bench::{header, run_normalized, Args};
+use bench::{header, Args};
+use rrs::campaign::Campaign;
 use rrs::experiments::{geomean, MitigationKind};
 
 fn main() {
@@ -19,14 +20,28 @@ fn main() {
         ("bh-512", MitigationKind::BlockHammer512),
         ("bh-1k", MitigationKind::BlockHammer1k),
     ];
+    // One campaign for all three defenses: the no-defense baseline cells
+    // are shared, so they run once instead of three times.
+    let mut campaign = Campaign::new();
+    let grid: Vec<(&str, Vec<(usize, usize)>)> = kinds
+        .iter()
+        .map(|(name, kind)| {
+            (
+                *name,
+                args.workloads
+                    .iter()
+                    .map(|w| campaign.normalized_pair(args.config, *w, *kind))
+                    .collect(),
+            )
+        })
+        .collect();
+    let run = campaign.run(&args.run_opts);
     let mut curves: Vec<(&str, Vec<f64>)> = Vec::new();
-    for (name, kind) in kinds {
-        eprintln!("running {name} ...");
-        let runs = run_normalized(&args.config, &args.workloads, kind, |w| {
-            eprint!("\r  {w:<16}");
-        });
-        eprintln!();
-        let mut norms: Vec<f64> = runs.iter().map(|r| r.normalized()).collect();
+    for (name, pairs) in grid {
+        let mut norms: Vec<f64> = pairs
+            .iter()
+            .map(|&(base, mitigated)| run.normalized(mitigated, base))
+            .collect();
         norms.sort_by(|a, b| a.partial_cmp(b).unwrap());
         curves.push((name, norms));
     }

@@ -4,12 +4,18 @@
 //!
 //! `cargo run --release -p bench --bin fig5 [--workloads all] [--scale N]`
 
-use bench::{header, Args};
+use bench::{header, run_suite, Args};
 use rrs::experiments::{mean, MitigationKind};
 
 fn main() {
     let args = Args::parse();
     header("Figure 5: Row-Swaps per 64 ms Window", &args.config);
+    let results = run_suite(
+        &args.config,
+        &args.workloads,
+        MitigationKind::Rrs,
+        &args.run_opts,
+    );
 
     println!(
         "{:<12} {:>14} {:>14}   bar (log2)",
@@ -24,8 +30,7 @@ fn main() {
         "swaps_per_epoch".to_string(),
         "paper_hot_rows".to_string(),
     ]];
-    for w in &args.workloads {
-        let r = args.config.run_workload(w, MitigationKind::Rrs);
+    for (w, r) in args.workloads.iter().zip(&results) {
         let swaps = r.stats.mean_swaps_per_epoch();
         let hot = match w {
             rrs::workloads::catalog::Workload::Single(s) => s.hot_rows,

@@ -11,10 +11,12 @@ fn main() {
     let args = Args::parse();
     header("Figure 6: Normalized Performance of RRS", &args.config);
 
-    let runs = run_normalized(&args.config, &args.workloads, MitigationKind::Rrs, |w| {
-        eprint!("\r  running {w:<16}");
-    });
-    eprintln!();
+    let runs = run_normalized(
+        &args.config,
+        &args.workloads,
+        MitigationKind::Rrs,
+        &args.run_opts,
+    );
 
     println!(
         "{:<12} {:>10} {:>12} {:>12}",

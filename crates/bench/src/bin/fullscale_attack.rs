@@ -6,6 +6,7 @@
 //! `cargo run --release -p bench --bin fullscale_attack [--epochs N]`
 
 use bench::Args;
+use rrs::campaign::Campaign;
 use rrs::experiments::{ExperimentConfig, MitigationKind};
 use rrs::workloads::AttackKind;
 
@@ -14,7 +15,10 @@ fn main() {
     let cfg = ExperimentConfig::default()
         .with_scale(1)
         .with_full_swap_cost();
-    println!("== Full-scale security check (T_RH = {}, 64 ms epochs) ==\n", cfg.t_rh());
+    println!(
+        "== Full-scale security check (T_RH = {}, 64 ms epochs) ==\n",
+        cfg.t_rh()
+    );
     println!(
         "{:<16} {:<12} {:>8} {:>10} {:>10}",
         "attack", "defense", "flips", "swaps", "refreshes"
@@ -28,15 +32,24 @@ fn main() {
         (AttackKind::HalfDouble, MitigationKind::Rrs, 2),
         (cfg.swap_chasing_attack(), MitigationKind::Rrs, 2),
     ];
-    for (attack, defense, epochs) in cases {
-        let o = cfg.run_attack(attack, defense, epochs.max(args.epochs.min(4)));
+    let mut campaign = Campaign::new();
+    let cells: Vec<(AttackKind, usize)> = cases
+        .into_iter()
+        .map(|(attack, defense, epochs)| {
+            let epochs = epochs.max(args.epochs.min(4));
+            (attack, campaign.attack(cfg, attack, defense, epochs))
+        })
+        .collect();
+    let run = campaign.run(&args.run_opts);
+    for (attack, cell) in cells {
+        let r = run.get(cell);
         println!(
             "{:<16} {:<12} {:>8} {:>10} {:>10}",
             attack.name(),
-            o.result.mitigation,
-            o.bit_flips.len(),
-            o.result.stats.swaps,
-            o.result.stats.targeted_refreshes
+            r.mitigation,
+            r.bit_flips.len(),
+            r.stats.swaps,
+            r.stats.targeted_refreshes
         );
     }
     println!(

@@ -10,6 +10,7 @@
 //! `cargo run --release -p bench --bin rowclone [--workloads N]`
 
 use bench::{header, run_normalized, suite_geomeans, Args};
+use rrs::campaign::Campaign;
 use rrs::experiments::MitigationKind;
 use rrs::workloads::AttackKind;
 
@@ -23,7 +24,7 @@ fn main() {
     println!("-- benign slowdown at T_RH = 1.2K (swap-heavy design point) --");
     println!("{:<12} {:>12}", "swap mode", "slowdown");
     for (label, cfg) in [("buffered", low_t), ("rowclone", low_t.with_rowclone())] {
-        let runs = run_normalized(&cfg, &sample, MitigationKind::Rrs, |_| {});
+        let runs = run_normalized(&cfg, &sample, MitigationKind::Rrs, &args.run_opts);
         let overall = suite_geomeans(&runs).last().unwrap().1;
         println!("{:<12} {:>11.2}%", label, (1.0 - overall) * 100.0);
     }
@@ -32,19 +33,28 @@ fn main() {
     println!("(full 1.46 µs swap latency: this experiment is about the cost itself)");
     println!("{:<12} {:>14} {:>12}", "swap mode", "cycles", "vs none");
     let atk = args.config.with_full_swap_cost();
-    let base = atk.run_attack(AttackKind::Dos, MitigationKind::None, 1);
-    println!("{:<12} {:>14} {:>9.4}x", "none", base.result.cycles, 1.0);
-    for (label, cfg) in [
-        ("buffered", atk),
-        ("rowclone", atk.with_rowclone()),
-    ] {
-        let r = cfg.run_attack(AttackKind::Dos, MitigationKind::Rrs, 1);
+    let mut campaign = Campaign::new();
+    let base_cell = campaign.attack(atk, AttackKind::Dos, MitigationKind::None, 1);
+    let modes: Vec<(&str, usize)> = [("buffered", atk), ("rowclone", atk.with_rowclone())]
+        .into_iter()
+        .map(|(label, cfg)| {
+            (
+                label,
+                campaign.attack(cfg, AttackKind::Dos, MitigationKind::Rrs, 1),
+            )
+        })
+        .collect();
+    let run = campaign.run(&args.run_opts);
+    let base = run.get(base_cell);
+    println!("{:<12} {:>14} {:>9.4}x", "none", base.cycles, 1.0);
+    for (label, cell) in modes {
+        let r = run.get(cell);
         assert!(r.bit_flips.is_empty(), "RRS must stay secure in both modes");
         println!(
             "{:<12} {:>14} {:>9.4}x",
             label,
-            r.result.cycles,
-            r.result.cycles as f64 / base.result.cycles as f64
+            r.cycles,
+            r.cycles as f64 / base.cycles as f64
         );
     }
     println!(

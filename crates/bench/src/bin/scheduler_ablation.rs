@@ -10,7 +10,7 @@
 //!
 //! `cargo run --release -p bench --bin scheduler_ablation [--workloads N]`
 
-use bench::{header, Args};
+use bench::{header, run_suite, Args};
 use rrs::experiments::MitigationKind;
 use rrs::mem_ctrl::scheduler::{QueuedController, SchedPolicy};
 use rrs::workloads::generator::sources_for_workload;
@@ -21,12 +21,18 @@ fn main() {
     let sys = args.config.system_config();
     let records_per_core = 20_000usize;
 
+    // The closed-loop synchronous-controller runs (burst-batched FCFS)
+    // come from the campaign engine; the open-loop replay below is a
+    // custom per-policy queue and stays inline.
+    let pool: Vec<_> = args.workloads.iter().copied().take(8).collect();
+    let sync_results = run_suite(&args.config, &pool, MitigationKind::None, &args.run_opts);
+
     println!(
         "{:<12} {:>12} {:>12} {:>14}",
         "workload", "fcfs hits", "frfcfs hits", "sync-ctrl hits"
     );
     println!("{}", "-".repeat(54));
-    for w in args.workloads.iter().take(8) {
+    for (w, sync) in pool.iter().zip(&sync_results) {
         // Record per-core traces once, replay under each policy.
         let mut sources = sources_for_workload(w, &sys, args.config.seed);
         let traces: Vec<Vec<_>> = sources
@@ -35,12 +41,8 @@ fn main() {
             .collect();
 
         let open_loop = |policy: SchedPolicy| -> f64 {
-            let mut qc = QueuedController::new(
-                sys.controller.geometry,
-                sys.controller.timing,
-                policy,
-                64,
-            );
+            let mut qc =
+                QueuedController::new(sys.controller.geometry, sys.controller.timing, policy, 64);
             // Interleave cores round-robin with their gap-derived arrival
             // times; drain in windows to bound the queue.
             let mut times = vec![0u64; traces.len()];
@@ -69,8 +71,6 @@ fn main() {
 
         let fcfs = open_loop(SchedPolicy::Fcfs);
         let frfcfs = open_loop(SchedPolicy::FrFcfs);
-        // The closed-loop synchronous controller (burst-batched FCFS).
-        let sync = args.config.run_workload(w, MitigationKind::None);
         println!(
             "{:<12} {:>11.1}% {:>11.1}% {:>13.1}%",
             w.name(),

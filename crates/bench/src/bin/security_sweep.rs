@@ -20,11 +20,7 @@ fn main() {
     );
     println!("{}", "-".repeat(70));
     for row in model.k_sweep(1..=8) {
-        let p_year = model.success_probability_within(
-            row.t,
-            row.duty_cycle,
-            365.25 * 86_400.0,
-        );
+        let p_year = model.success_probability_within(row.t, row.duty_cycle, 365.25 * 86_400.0);
         println!(
             "{:<6} {:<8} {:>8.3} {:>14} {:>16} {:>12.2e}",
             row.k,
@@ -61,7 +57,10 @@ fn main() {
     // Optional: measure the performance side of the trade-off.
     if !args.workloads.is_empty() {
         let sample: Vec<_> = args.workloads.iter().copied().take(6).collect();
-        println!("\n-- Performance cost per design point (sample of {} workloads) --", sample.len());
+        println!(
+            "\n-- Performance cost per design point (sample of {} workloads) --",
+            sample.len()
+        );
         header("", &args.config);
         println!("{:<6} {:>12}", "k", "slowdown");
         for k in [3u64, 6, 8] {
@@ -69,7 +68,7 @@ fn main() {
             // threshold sweep (T_RRS = T_RH / k is derived inside the
             // config from DEFAULT_K; scale T_RH to move T_RRS instead).
             let cfg = args.config.with_t_rh(4_800 * rrs::core::DEFAULT_K / k);
-            let runs = run_normalized(&cfg, &sample, MitigationKind::Rrs, |_| {});
+            let runs = run_normalized(&cfg, &sample, MitigationKind::Rrs, &args.run_opts);
             let overall = suite_geomeans(&runs).last().unwrap().1;
             println!("{:<6} {:>11.2}%", k, (1.0 - overall) * 100.0);
         }

@@ -7,13 +7,16 @@
 //!
 //! `cargo run --release -p bench --bin table3 [--scale N] [--instr N] [--workloads all]`
 
-use bench::{header, Args};
+use bench::{header, run_suite, Args};
 use rrs::experiments::MitigationKind;
 use rrs::workloads::catalog::Workload;
 
 fn main() {
     let args = Args::parse();
-    header("Table 3: Workload Characteristics (Rows ACT-800+)", &args.config);
+    header(
+        "Table 3: Workload Characteristics (Rows ACT-800+)",
+        &args.config,
+    );
     println!(
         "{:<12} {:>10} {:>8} {:>8} {:>12} {:>12}",
         "Workload", "Footprint", "MPKI", "MPKI", "Hot rows", "Hot rows"
@@ -23,8 +26,13 @@ fn main() {
         "", "(GB)", "(paper)", "(meas)", "(paper)", "(measured)"
     );
     println!("{}", "-".repeat(68));
-    for w in &args.workloads {
-        let r = args.config.run_workload(w, MitigationKind::None);
+    let results = run_suite(
+        &args.config,
+        &args.workloads,
+        MitigationKind::None,
+        &args.run_opts,
+    );
+    for (w, r) in args.workloads.iter().zip(&results) {
         let measured_mpki =
             (r.stats.reads + r.stats.writes) as f64 / (r.total_instructions as f64 / 1000.0);
         let hot_max = r

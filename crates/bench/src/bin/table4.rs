@@ -28,9 +28,7 @@ fn main() {
             human_time(row.attack_time_seconds)
         );
     }
-    println!(
-        "\npaper: 960 -> 6.9 days, 800 -> 3.8 years, 685 -> 762 years"
-    );
+    println!("\npaper: 960 -> 6.9 days, 800 -> 3.8 years, 685 -> 762 years");
 
     println!("\n-- All-bank attack (§5.3.2: D = 0.55, 16 banks) --");
     let t = 800;

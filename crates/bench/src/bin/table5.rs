@@ -22,7 +22,10 @@ fn main() {
     println!("{}", "-".repeat(64));
     println!(
         "{:<14} {:>12} {:>10} {:>9.1}K   42.9KB",
-        "Total", "", "", t.total_kib_per_bank()
+        "Total",
+        "",
+        "",
+        t.total_kib_per_bank()
     );
     println!(
         "\nPer rank (16 banks): {:.0} KiB   (paper: 686KB)",

@@ -6,13 +6,16 @@
 //!
 //! `cargo run --release -p bench --bin table6 [--workloads all]`
 
-use bench::{header, Args};
+use bench::{header, run_suite, Args};
 use rrs::analysis::power::Table6;
 use rrs::experiments::{mean, MitigationKind};
 
 fn main() {
     let args = Args::parse();
-    header("Table 6: Extra Power Consumption in RRS Per Rank", &args.config);
+    header(
+        "Table 6: Extra Power Consumption in RRS Per Rank",
+        &args.config,
+    );
 
     let geometry = rrs::dram::geometry::DramGeometry::asplos22_baseline();
     let timing = args.config.timing();
@@ -21,8 +24,13 @@ fn main() {
     // the scale factor, so the full-scale overhead is the measured ratio
     // divided by the scale.
     let mut fractions = Vec::new();
-    for w in &args.workloads {
-        let r = args.config.run_workload(w, MitigationKind::Rrs);
+    let results = run_suite(
+        &args.config,
+        &args.workloads,
+        MitigationKind::Rrs,
+        &args.run_opts,
+    );
+    for r in &results {
         let report = r.power_report(&timing, geometry.lines_per_row(), 1);
         fractions.push(report.swap_overhead_fraction() / args.config.scale as f64);
     }

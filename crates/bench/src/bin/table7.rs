@@ -6,7 +6,8 @@
 //!
 //! `cargo run --release -p bench --bin table7 [--epochs N]`
 
-use bench::{header, run_normalized, Args};
+use bench::{header, Args};
+use rrs::campaign::Campaign;
 use rrs::experiments::{geomean, MitigationKind};
 use rrs::workloads::AttackKind;
 
@@ -14,30 +15,50 @@ fn main() {
     let args = Args::parse();
     header("Table 7: RRS vs Victim-Focused Mitigation", &args.config);
 
-    let survives = |attack: AttackKind, kind: MitigationKind| -> bool {
-        !args
-            .config
-            .run_attack(attack, kind, args.epochs)
-            .attack_succeeded()
-    };
-
+    // One campaign holds the whole table: the 6 attack cells plus both
+    // defenses' benign sample (which shares its no-defense baselines).
+    let mut campaign = Campaign::new();
+    let attack_grid: Vec<usize> = [
+        (AttackKind::DoubleSided, MitigationKind::VictimRefresh),
+        (AttackKind::SingleSided, MitigationKind::VictimRefresh),
+        (AttackKind::HalfDouble, MitigationKind::VictimRefresh),
+        (AttackKind::DoubleSided, MitigationKind::Rrs),
+        (AttackKind::SingleSided, MitigationKind::Rrs),
+        (AttackKind::HalfDouble, MitigationKind::Rrs),
+    ]
+    .into_iter()
+    .map(|(attack, kind)| campaign.attack(args.config, attack, kind, args.epochs))
+    .collect();
     // Benign slowdown on a sample (the paper reports <0.1% for ideal VFM,
     // 0.4% for RRS over the full population).
     let sample: Vec<_> = args.workloads.iter().copied().take(6).collect();
-    let slowdown = |kind: MitigationKind| -> f64 {
-        let runs = run_normalized(&args.config, &sample, kind, |_| {});
-        let norms: Vec<f64> = runs.iter().map(|r| r.normalized()).collect();
+    let benign_grid: Vec<Vec<(usize, usize)>> =
+        [MitigationKind::VictimRefresh, MitigationKind::Rrs]
+            .into_iter()
+            .map(|kind| {
+                sample
+                    .iter()
+                    .map(|w| campaign.normalized_pair(args.config, *w, kind))
+                    .collect()
+            })
+            .collect();
+    let run = campaign.run(&args.run_opts);
+
+    let survives = |cell: usize| -> bool { run.get(cell).bit_flips.is_empty() };
+    let slowdown = |pairs: &[(usize, usize)]| -> f64 {
+        let norms: Vec<f64> = pairs
+            .iter()
+            .map(|&(base, mitigated)| run.normalized(mitigated, base))
+            .collect();
         (1.0 - geomean(&norms)) * 100.0
     };
 
-    let vfm_classic = survives(AttackKind::DoubleSided, MitigationKind::VictimRefresh)
-        && survives(AttackKind::SingleSided, MitigationKind::VictimRefresh);
-    let rrs_classic = survives(AttackKind::DoubleSided, MitigationKind::Rrs)
-        && survives(AttackKind::SingleSided, MitigationKind::Rrs);
-    let vfm_hd = survives(AttackKind::HalfDouble, MitigationKind::VictimRefresh);
-    let rrs_hd = survives(AttackKind::HalfDouble, MitigationKind::Rrs);
-    let vfm_slow = slowdown(MitigationKind::VictimRefresh);
-    let rrs_slow = slowdown(MitigationKind::Rrs);
+    let vfm_classic = survives(attack_grid[0]) && survives(attack_grid[1]);
+    let vfm_hd = survives(attack_grid[2]);
+    let rrs_classic = survives(attack_grid[3]) && survives(attack_grid[4]);
+    let rrs_hd = survives(attack_grid[5]);
+    let vfm_slow = slowdown(&benign_grid[0]);
+    let rrs_slow = slowdown(&benign_grid[1]);
 
     let yn = |b: bool| if b { "yes" } else { "NO" };
     println!("{:<44} {:>14} {:>8}", "Attribute", "Victim-Focused", "RRS");
@@ -62,7 +83,5 @@ fn main() {
         "{:<44} {:>14} {:>8}",
         "Works Without Knowing DRAM Mapping", "NO", "yes"
     );
-    println!(
-        "\npaper: VFM <0.1% / yes / NO / NO;  RRS 0.4% / yes / yes / yes"
-    );
+    println!("\npaper: VFM <0.1% / yes / NO / NO;  RRS 0.4% / yes / yes / yes");
 }

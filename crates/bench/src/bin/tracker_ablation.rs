@@ -8,7 +8,7 @@
 //! * a counting-Bloom-filter tracker (never underestimates either, but
 //!   aliasing fires spurious swaps),
 //! * the footnote-1 stateless probabilistic trigger (handled by the
-//!   `prob_rrs` mitigation; see the Criterion `end_to_end` bench).
+//!   `prob_rrs` mitigation; see the `end_to_end` bench).
 //!
 //! `cargo run --release -p bench --bin tracker_ablation`
 
@@ -42,7 +42,10 @@ fn main() {
         mg.on_activation(stream(i));
     }
 
-    println!("{:<24} {:>10} {:>10} {:>10}", "tracker", "swaps", "unswaps", "stalls");
+    println!(
+        "{:<24} {:>10} {:>10} {:>10}",
+        "tracker", "swaps", "unswaps", "stalls"
+    );
     println!("{}", "-".repeat(58));
     let s = mg.stats();
     println!(
@@ -50,7 +53,11 @@ fn main() {
         "misra-gries (paper)", s.swaps, s.unswaps, s.capacity_stalls
     );
 
-    for (label, counters) in [("cbf 8192x3", 8_192usize), ("cbf 2048x3", 2_048), ("cbf 512x3", 512)] {
+    for (label, counters) in [
+        ("cbf 8192x3", 8_192usize),
+        ("cbf 2048x3", 2_048),
+        ("cbf 512x3", 512),
+    ] {
         let tracker = CbfTracker::new(config.t_rrs, counters, 3, 0xAB1A7E);
         let mut cbf = BankRrs::with_tracker(config, 0, tracker);
         for i in 0..accesses {

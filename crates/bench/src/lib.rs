@@ -8,10 +8,21 @@
 //! * `--workloads W` — `table3` (default: the paper's 28 hot workloads),
 //!   `all` (the full 78-workload population), or a number (first N).
 //! * `--epochs N`    — refresh windows for attack campaigns.
+//! * `--out DIR`     — per-cell result cache (default `results`); reruns
+//!   load finished cells instead of recomputing them.
+//! * `--force`       — re-run cells even when a cached result exists.
+//! * `--threads N`   — campaign worker threads (default: the
+//!   `RAYON_NUM_THREADS` convention, then available parallelism).
+//! * `--quiet`       — suppress per-cell progress lines.
 //!
 //! Results print as aligned text tables with the paper's reference values
-//! alongside, ready to paste into EXPERIMENTS.md.
+//! alongside, ready to paste into EXPERIMENTS.md. All simulation grids run
+//! through [`rrs::campaign`]: cells execute in parallel, shared baselines
+//! dedupe, and every cell lands in the `--out` cache.
 
+pub mod harness;
+
+use rrs::campaign::{Campaign, RunOptions};
 use rrs::experiments::{ExperimentConfig, MitigationKind};
 use rrs::sim::SimResult;
 use rrs::workloads::catalog::{all_workloads, table3_workloads, Workload};
@@ -27,6 +38,8 @@ pub struct Args {
     pub epochs: u64,
     /// Where to write machine-readable CSV output (`--csv <path>`).
     pub csv: Option<String>,
+    /// How campaigns execute (threads, result cache, force, quiet).
+    pub run_opts: RunOptions,
     /// Extra free-form flags (binary-specific, e.g. `--all-bank`).
     pub flags: Vec<String>,
 }
@@ -39,6 +52,8 @@ impl Args {
         let mut workloads = String::from("table3");
         let mut epochs = 2u64;
         let mut csv = None;
+        let mut out = String::from("results");
+        let mut run_opts = RunOptions::default();
         let mut flags = Vec::new();
         let argv: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
@@ -53,10 +68,15 @@ impl Args {
                 "--workloads" => workloads = take(&mut i),
                 "--epochs" => epochs = take(&mut i).parse().expect("--epochs N"),
                 "--csv" => csv = Some(take(&mut i)),
+                "--out" => out = take(&mut i),
+                "--threads" => run_opts.threads = Some(take(&mut i).parse().expect("--threads N")),
+                "--force" => run_opts.force = true,
+                "--quiet" => run_opts.quiet = true,
                 other => flags.push(other.to_string()),
             }
             i += 1;
         }
+        run_opts.out_dir = Some(out.into());
         let config = ExperimentConfig::default()
             .with_scale(scale)
             .with_instructions(instr);
@@ -73,6 +93,7 @@ impl Args {
             workloads: pool,
             epochs,
             csv,
+            run_opts,
             flags,
         }
     }
@@ -129,24 +150,45 @@ impl NormalizedRun {
     }
 }
 
-/// Runs `kind` against every workload, returning per-workload pairs.
+/// Runs `kind` against every workload (each paired with its no-defense
+/// baseline) through one parallel campaign, returning per-workload pairs.
 pub fn run_normalized(
     config: &ExperimentConfig,
     workloads: &[Workload],
     kind: MitigationKind,
-    mut progress: impl FnMut(&str),
+    opts: &RunOptions,
 ) -> Vec<NormalizedRun> {
-    workloads
+    let mut campaign = Campaign::new();
+    let pairs: Vec<(Workload, (usize, usize))> = workloads
         .iter()
-        .map(|w| {
-            progress(w.name());
-            NormalizedRun {
-                workload: *w,
-                base: config.run_workload(w, MitigationKind::None),
-                mitigated: config.run_workload(w, kind),
-            }
+        .map(|w| (*w, campaign.normalized_pair(*config, *w, kind)))
+        .collect();
+    let run = campaign.run(opts);
+    pairs
+        .into_iter()
+        .map(|(workload, (base, mitigated))| NormalizedRun {
+            workload,
+            base: run.get(base).clone(),
+            mitigated: run.get(mitigated).clone(),
         })
         .collect()
+}
+
+/// Runs `kind` against every workload through one parallel campaign (no
+/// baseline pairing), returning results in workload order.
+pub fn run_suite(
+    config: &ExperimentConfig,
+    workloads: &[Workload],
+    kind: MitigationKind,
+    opts: &RunOptions,
+) -> Vec<SimResult> {
+    let mut campaign = Campaign::new();
+    let cells: Vec<usize> = workloads
+        .iter()
+        .map(|w| campaign.workload(*config, *w, kind))
+        .collect();
+    let run = campaign.run(opts);
+    cells.into_iter().map(|i| run.get(i).clone()).collect()
 }
 
 /// Geometric mean over normalized performances, grouped by suite; returns
@@ -219,11 +261,23 @@ mod tests {
 
     #[test]
     fn suite_geomeans_include_overall() {
-        let cfg = ExperimentConfig::smoke_test();
+        let mut cfg = ExperimentConfig::smoke_test();
+        cfg.instructions_per_core = 20_000;
         let pool: Vec<Workload> = table3_workloads().into_iter().take(2).collect();
-        let runs = run_normalized(&cfg, &pool, MitigationKind::Rrs, |_| {});
+        let runs = run_normalized(&cfg, &pool, MitigationKind::Rrs, &RunOptions::quiet());
         let means = suite_geomeans(&runs);
         assert_eq!(means.last().unwrap().0, "ALL");
         assert!(means.last().unwrap().1 > 0.0);
+    }
+
+    #[test]
+    fn run_suite_keeps_workload_order() {
+        let mut cfg = ExperimentConfig::smoke_test();
+        cfg.instructions_per_core = 20_000;
+        let pool: Vec<Workload> = table3_workloads().into_iter().take(3).collect();
+        let results = run_suite(&cfg, &pool, MitigationKind::None, &RunOptions::quiet());
+        let names: Vec<&str> = results.iter().map(|r| r.workload.as_str()).collect();
+        let expect: Vec<&str> = pool.iter().map(|w| w.name()).collect();
+        assert_eq!(names, expect);
     }
 }

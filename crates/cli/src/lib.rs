@@ -7,6 +7,7 @@
 
 use std::fmt;
 
+use rrs::campaign::{Campaign, RunOptions};
 use rrs::experiments::{ExperimentConfig, MitigationKind};
 use rrs::sim::{SimResult, TraceSource};
 use rrs::workloads::catalog::{all_workloads, spec_by_name, table3_workloads, Workload};
@@ -115,6 +116,32 @@ impl Flags {
     pub fn defense(&self) -> Result<MitigationKind, CliError> {
         parse_defense(self.get("defense").unwrap_or("rrs"))
     }
+
+    /// Campaign execution options from the shared flags: `--threads N`,
+    /// `--out DIR` (per-cell result cache, resume-on-rerun), `--force`,
+    /// `--quiet`.
+    pub fn run_options(&self) -> Result<RunOptions, CliError> {
+        Ok(RunOptions {
+            threads: self.get_num::<usize>("threads")?,
+            out_dir: self.get("out").map(std::path::PathBuf::from),
+            force: self.has("force"),
+            quiet: self.has("quiet"),
+        })
+    }
+
+    /// Parses `--workloads all|table3|N` (default `table3`).
+    pub fn workload_pool(&self) -> Result<Vec<Workload>, CliError> {
+        Ok(match self.get("workloads").unwrap_or("table3") {
+            "all" => all_workloads(),
+            "table3" => table3_workloads(),
+            n => {
+                let count: usize = n.parse().map_err(|_| {
+                    CliError(format!("--workloads expects all|table3|N, got {n:?}"))
+                })?;
+                all_workloads().into_iter().take(count).collect()
+            }
+        })
+    }
 }
 
 /// Maps a defense name to its kind.
@@ -166,8 +193,15 @@ fn print_run(r: &SimResult) {
     println!("cycles       : {}", r.cycles);
     println!("aggregate IPC: {:.3}", r.aggregate_ipc());
     println!("activations  : {}", r.stats.activations);
-    println!("row hits     : {} ({:.1}%)", r.stats.row_hits, 100.0 * r.stats.row_hit_rate());
-    println!("swaps        : {} (+{} unswaps)", r.stats.swaps, r.stats.unswaps);
+    println!(
+        "row hits     : {} ({:.1}%)",
+        r.stats.row_hits,
+        100.0 * r.stats.row_hit_rate()
+    );
+    println!(
+        "swaps        : {} (+{} unswaps)",
+        r.stats.swaps, r.stats.unswaps
+    );
     println!("victim refr. : {}", r.stats.targeted_refreshes);
     println!("delay cycles : {}", r.stats.mitigation_delay_cycles);
     println!("epochs       : {}", r.stats.epochs_completed);
@@ -197,6 +231,7 @@ pub fn dispatch(args: &[String]) -> Result<(), CliError> {
         "run" => cmd_run(&flags),
         "attack" => cmd_attack(&flags),
         "sweep" => cmd_sweep(&flags),
+        "campaign" => cmd_campaign(&flags),
         "capture" => cmd_capture(&flags),
         "replay" => cmd_replay(&flags),
         "analyze" => cmd_analyze(&flags),
@@ -224,11 +259,19 @@ fn cmd_run(flags: &Flags) -> Result<(), CliError> {
         .ok_or_else(|| CliError(format!("unknown workload {name:?}")))?;
     let workload = Workload::Single(spec);
     let kind = flags.defense()?;
-    let result = cfg.run_workload(&workload, kind);
-    print_run(&result);
-    if flags.has("baseline") {
-        let base = cfg.run_workload(&workload, MitigationKind::None);
-        println!("normalized   : {:.4}", result.normalized_to(&base));
+    // Even a single run goes through the campaign engine, so `--out`
+    // caching and the derived per-cell seed match the figure harnesses.
+    let mut opts = flags.run_options()?;
+    opts.quiet = true;
+    let mut campaign = Campaign::new();
+    let cell = campaign.workload(cfg, workload, kind);
+    let base_cell = flags
+        .has("baseline")
+        .then(|| campaign.workload(cfg, workload, MitigationKind::None));
+    let run = campaign.run(&opts);
+    print_run(run.get(cell));
+    if let Some(base) = base_cell {
+        println!("normalized   : {:.4}", run.normalized(cell, base));
     }
     Ok(())
 }
@@ -238,14 +281,19 @@ fn cmd_attack(flags: &Flags) -> Result<(), CliError> {
     let attack = parse_attack(flags.get("pattern").unwrap_or("double-sided"), &cfg)?;
     let kind = flags.defense()?;
     let epochs = flags.get_num::<u64>("epochs")?.unwrap_or(2);
-    let outcome = cfg.run_attack(attack, kind, epochs);
-    print_run(&outcome.result);
+    let mut opts = flags.run_options()?;
+    opts.quiet = true;
+    let mut campaign = Campaign::new();
+    let cell = campaign.attack(cfg, attack, kind, epochs);
+    let run = campaign.run(&opts);
+    let result = run.get(cell);
+    print_run(result);
     println!(
         "verdict      : {}",
-        if outcome.attack_succeeded() {
-            "ATTACK SUCCEEDED (bit flips observed)"
-        } else {
+        if result.bit_flips.is_empty() {
             "defended"
+        } else {
+            "ATTACK SUCCEEDED (bit flips observed)"
         }
     );
     Ok(())
@@ -254,22 +302,22 @@ fn cmd_attack(flags: &Flags) -> Result<(), CliError> {
 fn cmd_sweep(flags: &Flags) -> Result<(), CliError> {
     let cfg = flags.experiment()?;
     let kind = flags.defense()?;
-    let pool = match flags.get("workloads").unwrap_or("table3") {
-        "all" => all_workloads(),
-        "table3" => table3_workloads(),
-        n => {
-            let count: usize = n
-                .parse()
-                .map_err(|_| CliError(format!("--workloads expects all|table3|N, got {n:?}")))?;
-            all_workloads().into_iter().take(count).collect()
-        }
-    };
-    println!("{:<14} {:>10} {:>12} {:>10}", "workload", "norm perf", "swaps/epoch", "flips");
+    let pool = flags.workload_pool()?;
+    let opts = flags.run_options()?;
+    let mut campaign = Campaign::new();
+    let pairs: Vec<(Workload, (usize, usize))> = pool
+        .iter()
+        .map(|w| (*w, campaign.normalized_pair(cfg, *w, kind)))
+        .collect();
+    let run = campaign.run(&opts);
+    println!(
+        "{:<14} {:>10} {:>12} {:>10}",
+        "workload", "norm perf", "swaps/epoch", "flips"
+    );
     let mut norms = Vec::new();
-    for w in &pool {
-        let base = cfg.run_workload(w, MitigationKind::None);
-        let r = cfg.run_workload(w, kind);
-        let norm = r.normalized_to(&base);
+    for (w, (base, mitigated)) in &pairs {
+        let r = run.get(*mitigated);
+        let norm = run.normalized(*mitigated, *base);
         norms.push(norm);
         println!(
             "{:<14} {:>10.4} {:>12.1} {:>10}",
@@ -286,11 +334,95 @@ fn cmd_sweep(flags: &Flags) -> Result<(), CliError> {
     Ok(())
 }
 
+fn cmd_campaign(flags: &Flags) -> Result<(), CliError> {
+    let cfg = flags.experiment()?;
+    let pool = flags.workload_pool()?;
+    let kinds: Vec<MitigationKind> = flags
+        .get("defenses")
+        .unwrap_or("none,rrs")
+        .split(',')
+        .map(|d| parse_defense(d.trim()))
+        .collect::<Result<_, _>>()?;
+    let attacks: Vec<AttackKind> = match flags.get("attacks") {
+        Some(list) => list
+            .split(',')
+            .map(|a| parse_attack(a.trim(), &cfg))
+            .collect::<Result<_, _>>()?,
+        None => Vec::new(),
+    };
+    let epochs = flags.get_num::<u64>("epochs")?.unwrap_or(2);
+    let mut opts = flags.run_options()?;
+    if opts.out_dir.is_none() {
+        opts.out_dir = Some("results".into());
+    }
+
+    let mut campaign = Campaign::new();
+    for kind in &kinds {
+        for w in &pool {
+            campaign.workload(cfg, *w, *kind);
+        }
+        for attack in &attacks {
+            campaign.attack(cfg, *attack, *kind, epochs);
+        }
+    }
+    eprintln!(
+        "campaign: {} cells ({} workloads x {} defenses{}), {} threads, cache {}",
+        campaign.len(),
+        pool.len(),
+        kinds.len(),
+        if attacks.is_empty() {
+            String::new()
+        } else {
+            format!(" + {} attacks", attacks.len())
+        },
+        opts.resolve_threads(),
+        opts.out_dir
+            .as_deref()
+            .unwrap_or_else(|| "off".as_ref())
+            .display(),
+    );
+    let run = campaign.run(&opts);
+
+    println!(
+        "{:<44} {:>9} {:>12} {:>8} {:>7}",
+        "cell", "agg IPC", "swaps/epoch", "flips", "cached"
+    );
+    println!("{}", "-".repeat(84));
+    for outcome in run.outcomes() {
+        let r = &outcome.result;
+        println!(
+            "{:<44} {:>9.3} {:>12.1} {:>8} {:>7}",
+            outcome.id,
+            r.aggregate_ipc(),
+            r.stats.mean_swaps_per_epoch(),
+            r.bit_flips.len(),
+            if outcome.from_cache { "yes" } else { "no" }
+        );
+    }
+    let cached = run.outcomes().iter().filter(|o| o.from_cache).count();
+    // `.max(0.0)` because summing an empty iterator of f64 yields -0.0,
+    // which would print as "-0.0s" on a fully cached run.
+    let simulated: f64 = run
+        .outcomes()
+        .iter()
+        .filter(|o| !o.from_cache)
+        .map(|o| o.seconds)
+        .sum::<f64>()
+        .max(0.0);
+    println!(
+        "{} cells: {} cached, {} simulated ({:.1}s of cell time)",
+        run.len(),
+        cached,
+        run.len() - cached,
+        simulated
+    );
+    Ok(())
+}
+
 fn cmd_capture(flags: &Flags) -> Result<(), CliError> {
     let cfg = flags.experiment()?;
     let name = flags.get("workload").unwrap_or("gcc");
-    let spec =
-        spec_by_name(name).ok_or_else(|| CliError(format!("unknown workload {name:?}")))?;
+    let spec = spec_by_name(name).ok_or_else(|| CliError(format!("unknown workload {name:?}")))?;
     let records: usize = flags.get_num("records")?.unwrap_or(100_000);
     let out = flags.get("out").unwrap_or("trace.rrst").to_string();
     let sys = cfg.system_config();
@@ -345,20 +477,33 @@ fn cmd_analyze(flags: &Flags) -> Result<(), CliError> {
     match what.as_str() {
         "table4" | "attack-time" => {
             let m = rrs::analysis::attack_model::AttackModel::asplos22();
-            println!("{:<8} {:>4} {:>14} {:>14}", "T_RRS", "k", "iterations", "years");
+            println!(
+                "{:<8} {:>4} {:>14} {:>14}",
+                "T_RRS", "k", "iterations", "years"
+            );
             for row in m.table4() {
                 println!(
                     "{:<8} {:>4} {:>14.3e} {:>14.1}",
-                    row.t, row.k, row.attack_iterations, row.years()
+                    row.t,
+                    row.k,
+                    row.attack_iterations,
+                    row.years()
                 );
             }
         }
         "table5" | "storage" => {
             let t = rrs::analysis::storage::table5();
             for r in &t.rows {
-                println!("{:<14} {:>8} bits x {:>6} = {:>7.1} KiB", r.structure, r.entry_bits, r.entries, r.kib_per_bank);
+                println!(
+                    "{:<14} {:>8} bits x {:>6} = {:>7.1} KiB",
+                    r.structure, r.entry_bits, r.entries, r.kib_per_bank
+                );
             }
-            println!("total per bank: {:.1} KiB; per rank: {:.0} KiB", t.total_kib_per_bank(), t.total_kib_per_rank(16));
+            println!(
+                "total per bank: {:.1} KiB; per rank: {:.0} KiB",
+                t.total_kib_per_bank(),
+                t.total_kib_per_rank(16)
+            );
         }
         "duty-cycle" => {
             let m = rrs::analysis::attack_model::AttackModel::asplos22();
@@ -366,7 +511,9 @@ fn cmd_analyze(flags: &Flags) -> Result<(), CliError> {
                 println!("T_RRS {:>5}: duty cycle {:.4}", t, m.duty_cycle(t));
             }
         }
-        other => return Err(format!("unknown analysis {other:?} (table4|table5|duty-cycle)").into()),
+        other => {
+            return Err(format!("unknown analysis {other:?} (table4|table5|duty-cycle)").into())
+        }
     }
     Ok(())
 }
@@ -384,6 +531,10 @@ COMMANDS:
              [--spec-file <file>]                            benign workload run
     attack   --pattern <p> --defense <d> [--epochs N]       attack campaign
     sweep    --defense <d> [--workloads all|table3|N]       normalized-perf sweep
+    campaign [--workloads all|table3|N] [--defenses d1,d2]
+             [--attacks p1,p2] [--epochs N]                 declarative grid run
+             (cells execute in parallel; results cached under --out,
+              default results/, and reruns skip finished cells)
     capture  --workload <name> --records N --out <file> [--text]
     replay   --trace <file> --defense <d>                   replay a trace file
     analyze  --what table4|table5|duty-cycle                analytic models
@@ -395,6 +546,11 @@ SHARED FLAGS:
     --t-rh N     full-scale Row Hammer threshold (default 4800)
     --cores N    cores (default 8)
     --seed N     experiment seed
+    --threads N  campaign worker threads (default: RAYON_NUM_THREADS, then
+                 available parallelism)
+    --out DIR    per-cell result cache (resume-on-rerun)
+    --force      re-run cells even when cached
+    --quiet      suppress per-cell progress lines
 
 DEFENSES: none | rrs | bh-512 | bh-1k | vfm | graphene | para | prob-rrs
 ATTACKS : single-sided | double-sided | half-double | many-sided |
@@ -434,7 +590,9 @@ mod tests {
 
     #[test]
     fn defense_and_attack_names_resolve() {
-        for d in ["none", "rrs", "bh-512", "bh-1k", "vfm", "graphene", "para", "prob-rrs"] {
+        for d in [
+            "none", "rrs", "bh-512", "bh-1k", "vfm", "graphene", "para", "prob-rrs",
+        ] {
             assert!(parse_defense(d).is_ok(), "{d}");
         }
         assert!(parse_defense("magic").is_err());
@@ -462,7 +620,11 @@ mod tests {
     #[test]
     fn analyze_commands_print() {
         for what in ["table4", "table5", "duty-cycle"] {
-            let args = vec!["analyze".to_string(), "--what".to_string(), what.to_string()];
+            let args = vec![
+                "analyze".to_string(),
+                "--what".to_string(),
+                what.to_string(),
+            ];
             dispatch(&args).unwrap();
         }
     }
@@ -474,14 +636,42 @@ mod tests {
     }
 
     #[test]
+    fn campaign_command_runs_and_caches() {
+        let dir = std::env::temp_dir().join("rrs_cli_campaign");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cmd = format!(
+            "campaign --workloads 2 --defenses none,rrs --scale 200 --instr 20000 \
+             --cores 2 --quiet --out {}",
+            dir.display()
+        );
+        dispatch(&argv(&cmd)).unwrap();
+        let cached = std::fs::read_dir(&dir).unwrap().count();
+        assert_eq!(cached, 4, "2 workloads x 2 defenses must be cached");
+        // Rerun resumes from the cache (and still succeeds).
+        dispatch(&argv(&cmd)).unwrap();
+        assert!(dispatch(&argv("campaign --defenses bogus --quiet")).is_err());
+    }
+
+    #[test]
+    fn sweep_command_uses_campaign() {
+        let args =
+            argv("sweep --defense rrs --workloads 1 --scale 200 --instr 20000 --cores 2 --quiet");
+        dispatch(&args).unwrap();
+    }
+
+    #[test]
     fn spec_file_workloads_run() {
         let dir = std::env::temp_dir().join("rrs_cli_spec");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("custom.spec");
-        std::fs::write(&path, "workload tiny
+        std::fs::write(
+            &path,
+            "workload tiny
 footprint_mb 64
 mpki 12
-").unwrap();
+",
+        )
+        .unwrap();
         let cmd = format!(
             "run --workload tiny --spec-file {} --scale 200 --instr 50000 --cores 2",
             path.display()

@@ -111,7 +111,11 @@ pub struct CatConflict {
 
 impl fmt::Display for CatConflict {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "CAT conflict: both candidate sets full for tag {:#x}", self.tag)
+        write!(
+            f,
+            "CAT conflict: both candidate sets full for tag {:#x}",
+            self.tag
+        )
     }
 }
 
@@ -402,7 +406,8 @@ mod tests {
         let mut cat = small();
         let cap = cat.capacity();
         for tag in 0..cap as u64 {
-            cat.insert(tag, 0).expect("demand-capacity install conflicted");
+            cat.insert(tag, 0)
+                .expect("demand-capacity install conflicted");
         }
         assert_eq!(cat.len(), cap);
     }

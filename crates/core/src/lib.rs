@@ -50,6 +50,7 @@ pub mod detector;
 pub mod prince;
 pub mod prng;
 pub mod rit;
+pub mod rng;
 pub mod rrs;
 pub mod swap;
 pub mod tracker;
@@ -59,6 +60,9 @@ pub use detector::{DetectorConfig, SwapDetector};
 pub use prince::Prince;
 pub use prng::PrinceCtrRng;
 pub use rit::{PhysicalSwap, RitError, RowIndirectionTable};
+pub use rng::DetRng;
 pub use rrs::{BankRrs, BankRrsStats, Rrs, RrsAction, RrsConfig, DEFAULT_K};
 pub use swap::{SwapEngine, SwapMode, SwapStats};
-pub use tracker::{AccessVerdict, CamTracker, CatTracker, CbfTracker, HotRowTracker, TrackerConfig};
+pub use tracker::{
+    AccessVerdict, CamTracker, CatTracker, CbfTracker, HotRowTracker, TrackerConfig,
+};

@@ -287,7 +287,12 @@ mod tests {
         (0, 0, 0xffffffffffffffff, 0x604ae6ca03c20ada),
         (0xffffffffffffffff, 0, 0, 0x9fb51935fc3df524),
         (0, 0xffffffffffffffff, 0, 0x78a54cbe737bb7ef),
-        (0, 0xfedcba9876543210, 0x0123456789abcdef, 0xae25ad3ca8fa9ccf),
+        (
+            0,
+            0xfedcba9876543210,
+            0x0123456789abcdef,
+            0xae25ad3ca8fa9ccf,
+        ),
     ];
 
     fn cipher(k0: u64, k1: u64) -> Prince {

@@ -91,8 +91,7 @@ impl RowIndirectionTable {
     /// Creates an RIT with the given displaced-row (tuple) capacity,
     /// shaping each direction's CAT with the paper's 6 extra ways.
     pub fn new(tuple_capacity: usize, hash_seed: u128) -> Self {
-        let fwd_cfg =
-            CatConfig::for_capacity(tuple_capacity.max(1), 14, 6).with_seed(hash_seed);
+        let fwd_cfg = CatConfig::for_capacity(tuple_capacity.max(1), 14, 6).with_seed(hash_seed);
         let rev_cfg = CatConfig::for_capacity(tuple_capacity.max(1), 14, 6)
             .with_seed(hash_seed ^ 0x0052_4556_4552_5345_u128); // "REVERSE" tag
         RowIndirectionTable {
@@ -232,12 +231,7 @@ impl RowIndirectionTable {
                 // The occupant of this row's home must also be evictable,
                 // because un-swapping displaces it.
                 let z = self.occupant(*logical);
-                z == *logical
-                    || self
-                        .forward
-                        .get(z)
-                        .map(|ze| !ze.locked)
-                        .unwrap_or(true)
+                z == *logical || self.forward.get(z).map(|ze| !ze.locked).unwrap_or(true)
             })
             .map(|(logical, _)| logical)?;
         Some(self.unswap(victim).expect("candidate must be unswappable"))
@@ -254,11 +248,7 @@ impl RowIndirectionTable {
         }
         // z currently occupies `logical`'s home slot.
         let z = self.occupant(logical);
-        let z_locked = self
-            .forward
-            .get(z)
-            .map(|e| e.locked)
-            .unwrap_or(false);
+        let z_locked = self.forward.get(z).map(|e| e.locked).unwrap_or(false);
         self.clear_mapping(logical);
         if z != logical {
             self.clear_mapping(z);

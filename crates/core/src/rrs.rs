@@ -561,7 +561,10 @@ mod tests {
         for _ in 0..10 {
             b.on_activation(7);
         }
-        assert!(b.stats().swaps >= 1, "CBF-tracked RRS must swap the hot row");
+        assert!(
+            b.stats().swaps >= 1,
+            "CBF-tracked RRS must swap the hot row"
+        );
         assert_ne!(b.resolve(7), 7);
     }
 

@@ -208,8 +208,8 @@ impl CatTracker {
     /// Creates a tracker whose CAT is shaped for `config.entries` with the
     /// paper's 6 extra ways.
     pub fn new(config: TrackerConfig) -> Self {
-        let cat_cfg = CatConfig::for_capacity(config.entries.max(1), 14, 6)
-            .with_seed(0x5452_4143_4b45_5200);
+        let cat_cfg =
+            CatConfig::for_capacity(config.entries.max(1), 14, 6).with_seed(0x5452_4143_4b45_5200);
         Self::with_cat_config(config, cat_cfg)
     }
 
@@ -543,9 +543,15 @@ mod tests {
         let mut cat = CatTracker::new(cfg(16, 50));
         let mut x = 12345u64;
         for i in 0..20_000u64 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             // 4 hot rows get half the traffic; the rest is scattered.
-            let row = if i % 2 == 0 { i % 4 } else { 100 + (x >> 33) % 1000 };
+            let row = if i % 2 == 0 {
+                i % 4
+            } else {
+                100 + (x >> 33) % 1000
+            };
             cam.record_access(row);
             cat.record_access(row);
         }
@@ -657,7 +663,10 @@ mod tests {
             hash_seed: 0xBAD,
         };
         let mut t = CatTracker::with_cat_config(
-            TrackerConfig { entries: 8, threshold: 100 },
+            TrackerConfig {
+                entries: 8,
+                threshold: 100,
+            },
             cat_cfg,
         );
         for row in 0..500u64 {

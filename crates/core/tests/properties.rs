@@ -1,41 +1,54 @@
-//! Property-based tests (proptest) for the core RRS structures: the
+//! Property-based tests (rrs-check) for the core RRS structures: the
 //! invariants §5.2 relies on must hold for *arbitrary* access sequences,
 //! not just the ones unit tests pick.
 
-use proptest::collection::vec;
-use proptest::prelude::*;
 use std::collections::{HashMap, HashSet};
 
+use rrs_check::{check, Gen};
 use rrs_core::cat::{Cat, CatConfig};
 use rrs_core::prince::Prince;
 use rrs_core::prng::PrinceCtrRng;
 use rrs_core::rit::RowIndirectionTable;
 use rrs_core::tracker::{CamTracker, CatTracker, HotRowTracker, TrackerConfig};
 
-proptest! {
-    /// PRINCE is a permutation: decrypt inverts encrypt for any key/block.
-    #[test]
-    fn prince_round_trip(key in any::<u128>(), block in any::<u64>()) {
+/// PRINCE is a permutation: decrypt inverts encrypt for any key/block.
+#[test]
+fn prince_round_trip() {
+    check(|g| {
+        let key = g.u128();
+        let block = g.u64();
         let cipher = Prince::new(key);
-        prop_assert_eq!(cipher.decrypt(cipher.encrypt(block)), block);
-    }
+        assert_eq!(cipher.decrypt(cipher.encrypt(block)), block);
+    });
+}
 
-    /// PRINCE is injective on distinct blocks under one key.
-    #[test]
-    fn prince_injective(key in any::<u128>(), a in any::<u64>(), b in any::<u64>()) {
-        prop_assume!(a != b);
+/// PRINCE is injective on distinct blocks under one key.
+#[test]
+fn prince_injective() {
+    check(|g| {
+        let key = g.u128();
+        let a = g.u64();
+        let b = g.u64();
+        if a == b {
+            return;
+        }
         let cipher = Prince::new(key);
-        prop_assert_ne!(cipher.encrypt(a), cipher.encrypt(b));
-    }
+        assert_ne!(cipher.encrypt(a), cipher.encrypt(b));
+    });
+}
 
-    /// The CTR PRNG's bounded draw is always in range, for any bound.
-    #[test]
-    fn prng_bounded_draws(key in any::<u128>(), bound in 1u64..u64::MAX, n in 1usize..50) {
+/// The CTR PRNG's bounded draw is always in range, for any bound.
+#[test]
+fn prng_bounded_draws() {
+    check(|g| {
+        let key = g.u128();
+        let bound = g.u64_in(1..u64::MAX);
+        let n = g.usize_in(1..50);
         let mut rng = PrinceCtrRng::new(key);
         for _ in 0..n {
-            prop_assert!(rng.next_below(bound) < bound);
+            assert!(rng.next_below(bound) < bound);
         }
-    }
+    });
 }
 
 /// Operations for the CAT model-based test.
@@ -46,20 +59,21 @@ enum CatOp {
     Lookup(u16),
 }
 
-fn cat_op() -> impl Strategy<Value = CatOp> {
-    prop_oneof![
-        (any::<u16>(), any::<u32>()).prop_map(|(t, v)| CatOp::Insert(t, v)),
-        any::<u16>().prop_map(CatOp::Remove),
-        any::<u16>().prop_map(CatOp::Lookup),
-    ]
+fn cat_op(g: &mut Gen) -> CatOp {
+    match g.below(3) {
+        0 => CatOp::Insert(g.u16(), g.u32()),
+        1 => CatOp::Remove(g.u16()),
+        _ => CatOp::Lookup(g.u16()),
+    }
 }
 
-proptest! {
-    /// Model-based: the CAT behaves exactly like a HashMap for any op
-    /// sequence that stays within capacity (inserts that conflict are
-    /// removed from the model too, so the two stay in lockstep).
-    #[test]
-    fn cat_matches_hashmap_model(ops in vec(cat_op(), 1..200)) {
+/// Model-based: the CAT behaves exactly like a HashMap for any op
+/// sequence that stays within capacity (inserts that conflict are
+/// removed from the model too, so the two stay in lockstep).
+#[test]
+fn cat_matches_hashmap_model() {
+    check(|g| {
+        let ops = g.vec(1..200, cat_op);
         let mut cat: Cat<u32> = Cat::new(CatConfig {
             sets: 16,
             demand_ways: 4,
@@ -71,52 +85,64 @@ proptest! {
             match op {
                 CatOp::Insert(tag, value) => {
                     let tag = tag as u64;
-                    if !model.contains_key(&tag) && model.len() < cat.capacity()
-                        && cat.insert(tag, value).is_ok() {
-                            model.insert(tag, value);
-                        }
+                    if !model.contains_key(&tag)
+                        && model.len() < cat.capacity()
+                        && cat.insert(tag, value).is_ok()
+                    {
+                        model.insert(tag, value);
+                    }
                 }
                 CatOp::Remove(tag) => {
                     let tag = tag as u64;
-                    prop_assert_eq!(cat.remove(tag), model.remove(&tag));
+                    assert_eq!(cat.remove(tag), model.remove(&tag));
                 }
                 CatOp::Lookup(tag) => {
                     let tag = tag as u64;
-                    prop_assert_eq!(cat.get(tag), model.get(&tag));
+                    assert_eq!(cat.get(tag), model.get(&tag));
                 }
             }
-            prop_assert_eq!(cat.len(), model.len());
+            assert_eq!(cat.len(), model.len());
         }
-    }
+    });
+}
 
-    /// Misra-Gries over-estimation: a tracked row's counter is always at
-    /// least its true count minus nothing — i.e. `estimate >= true` —
-    /// for any access sequence (Invariant 1's foundation).
-    #[test]
-    fn tracker_never_underestimates(rows in vec(0u64..64, 1..400)) {
-        let mut tracker = CatTracker::new(TrackerConfig { entries: 8, threshold: 1_000 });
+/// Misra-Gries over-estimation: a tracked row's counter is always at
+/// least its true count minus nothing — i.e. `estimate >= true` —
+/// for any access sequence (Invariant 1's foundation).
+#[test]
+fn tracker_never_underestimates() {
+    check(|g| {
+        let rows = g.vec(1..400, |g| g.u64_in(0..64));
+        let mut tracker = CatTracker::new(TrackerConfig {
+            entries: 8,
+            threshold: 1_000,
+        });
         let mut truth: HashMap<u64, u64> = HashMap::new();
         for row in rows {
             *truth.entry(row).or_insert(0) += 1;
             tracker.record_access(row);
             if let Some(est) = tracker.count_of(row) {
-                prop_assert!(
+                assert!(
                     est >= truth[&row],
-                    "row {} estimated {} < true {}", row, est, truth[&row]
+                    "row {} estimated {} < true {}",
+                    row,
+                    est,
+                    truth[&row]
                 );
             }
         }
-    }
+    });
+}
 
-    /// Misra-Gries detection guarantee (Invariant 1): with N >= W/T
-    /// entries, any row that truly reaches T accesses within a W-access
-    /// window fires `swap_due` at least once.
-    #[test]
-    fn tracker_guaranteed_detection(
-        seed in any::<u64>(),
-        hot_row in 0u64..1_000,
-        noise_rows in 1_001u64..2_000,
-    ) {
+/// Misra-Gries detection guarantee (Invariant 1): with N >= W/T
+/// entries, any row that truly reaches T accesses within a W-access
+/// window fires `swap_due` at least once.
+#[test]
+fn tracker_guaranteed_detection() {
+    check(|g| {
+        let seed = g.u64();
+        let hot_row = g.u64_in(0..1_000);
+        let noise_rows = g.u64_in(1_001..2_000);
         let w = 600u64;
         let t = 30u64;
         let cfg = TrackerConfig::for_window(w, t);
@@ -134,29 +160,35 @@ proptest! {
                 tracker.record_access(noise_rows + (x >> 40));
             }
         }
-        prop_assert_eq!(hot_done, t);
-        prop_assert!(fired, "hot row reached T accesses without detection");
-    }
+        assert_eq!(hot_done, t);
+        assert!(fired, "hot row reached T accesses without detection");
+    });
+}
 
-    /// CAM and CAT trackers agree on hot-row counts for arbitrary streams.
-    #[test]
-    fn cam_and_cat_trackers_agree(rows in vec(0u64..32, 1..500)) {
-        let cfg = TrackerConfig { entries: 12, threshold: 50 };
+/// CAM and CAT trackers agree on hot-row counts for arbitrary streams.
+#[test]
+fn cam_and_cat_trackers_agree() {
+    check(|g| {
+        let rows = g.vec(1..500, |g| g.u64_in(0..32));
+        let cfg = TrackerConfig {
+            entries: 12,
+            threshold: 50,
+        };
         let mut cam = CamTracker::new(cfg);
         let mut cat = CatTracker::new(cfg);
         for &row in &rows {
             cam.record_access(row);
             cat.record_access(row);
         }
-        prop_assert_eq!(cam.spill(), cat.spill());
-        prop_assert_eq!(cam.len(), cat.len());
+        assert_eq!(cam.spill(), cat.spill());
+        assert_eq!(cam.len(), cat.len());
         // Rows present in both have identical counts.
         for row in 0u64..32 {
             if let (Some(a), Some(b)) = (cam.count_of(row), cat.count_of(row)) {
-                prop_assert_eq!(a, b, "row {} counts diverge", row);
+                assert_eq!(a, b, "row {} counts diverge", row);
             }
         }
-    }
+    });
 }
 
 /// Operations for the RIT permutation test.
@@ -168,21 +200,22 @@ enum RitOp {
     EndEpoch,
 }
 
-fn rit_op() -> impl Strategy<Value = RitOp> {
-    prop_oneof![
-        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| RitOp::Swap(a, b)),
-        any::<u8>().prop_map(RitOp::Unswap),
-        any::<u64>().prop_map(RitOp::Evict),
-        Just(RitOp::EndEpoch),
-    ]
+fn rit_op(g: &mut Gen) -> RitOp {
+    match g.below(4) {
+        0 => RitOp::Swap(g.u8(), g.u8()),
+        1 => RitOp::Unswap(g.u8()),
+        2 => RitOp::Evict(g.u64()),
+        _ => RitOp::EndEpoch,
+    }
 }
 
-proptest! {
-    /// The RIT is always a permutation: after any operation sequence,
-    /// forward/reverse maps stay mutually consistent, injective, and free
-    /// of identity entries — and resolution round-trips.
-    #[test]
-    fn rit_is_always_a_permutation(ops in vec(rit_op(), 1..150)) {
+/// The RIT is always a permutation: after any operation sequence,
+/// forward/reverse maps stay mutually consistent, injective, and free
+/// of identity entries — and resolution round-trips.
+#[test]
+fn rit_is_always_a_permutation() {
+    check(|g| {
+        let ops = g.vec(1..150, rit_op);
         let mut rit = RowIndirectionTable::new(64, 0xFACE);
         for op in ops {
             match op {
@@ -204,16 +237,19 @@ proptest! {
             rit.check_invariants();
             // Round-trip: occupant(resolve(x)) == x for mapped rows.
             for (logical, physical) in rit.iter().collect::<Vec<_>>() {
-                prop_assert_eq!(rit.occupant(physical), logical);
-                prop_assert_eq!(rit.resolve(logical), physical);
+                assert_eq!(rit.occupant(physical), logical);
+                assert_eq!(rit.resolve(logical), physical);
             }
         }
-    }
+    });
+}
 
-    /// Locked entries (current-epoch swaps) survive arbitrary eviction
-    /// pressure within the same epoch.
-    #[test]
-    fn rit_locked_entries_survive_evictions(picks in vec(any::<u64>(), 1..50)) {
+/// Locked entries (current-epoch swaps) survive arbitrary eviction
+/// pressure within the same epoch.
+#[test]
+fn rit_locked_entries_survive_evictions() {
+    check(|g| {
+        let picks = g.vec(1..50, |g| g.u64());
         let mut rit = RowIndirectionTable::new(16, 0xBEE);
         rit.swap(1, 2).unwrap();
         rit.swap(3, 4).unwrap();
@@ -222,6 +258,6 @@ proptest! {
             let _ = rit.evict_one(pick);
         }
         let mapped_after: HashSet<(u64, u64)> = rit.iter().collect();
-        prop_assert_eq!(mapped_before, mapped_after, "locked tuples were evicted");
-    }
+        assert_eq!(mapped_before, mapped_after, "locked tuples were evicted");
+    });
 }

@@ -343,10 +343,7 @@ mod tests {
     #[test]
     fn targeted_refresh_disturbs_its_own_neighbors() {
         // The Half-Double enabler: refreshing row 501 hammers rows 500 & 502.
-        let mut m = HammerModel::new(
-            HammerConfig::classic_only(100),
-            DramGeometry::tiny_test(),
-        );
+        let mut m = HammerModel::new(HammerConfig::classic_only(100), DramGeometry::tiny_test());
         let victim_refreshed = RowAddr::new(0, 0, 0, 501);
         for _ in 0..100 {
             m.record_targeted_refresh(victim_refreshed);
@@ -361,10 +358,7 @@ mod tests {
         let cfg = HammerConfig::lpddr4_new();
         assert_eq!(cfg.acts_to_flip_at(1), DEFAULT_T_RH);
         let d2 = cfg.acts_to_flip_at(2);
-        assert!(
-            (295_000..=297_000).contains(&d2),
-            "distance-2 acts = {d2}"
-        );
+        assert!((295_000..=297_000).contains(&d2), "distance-2 acts = {d2}");
     }
 
     #[test]

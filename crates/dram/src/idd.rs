@@ -162,8 +162,7 @@ impl IddPowerModel {
     ) -> IddReport {
         let seconds = timing.cycles_to_ns(elapsed) * 1e-9;
         let standby_ma = self.currents.idd2n_ma
-            + row_open_fraction.clamp(0.0, 1.0)
-                * (self.currents.idd3n_ma - self.currents.idd2n_ma);
+            + row_open_fraction.clamp(0.0, 1.0) * (self.currents.idd3n_ma - self.currents.idd2n_ma);
         let background_nj = self.rank_watts(standby_ma) * seconds * 1e9;
 
         let act = self.activate_energy_nj(timing);
@@ -253,7 +252,10 @@ mod tests {
         }
         let idd = model().report(&counts, t.epoch, &t, 128, 0.7);
         let simple = crate::power::DramPowerModel::ddr4().report(&counts, t.epoch, &t, 128, 1);
-        let (a, b) = (idd.swap_overhead_fraction(), simple.swap_overhead_fraction());
+        let (a, b) = (
+            idd.swap_overhead_fraction(),
+            simple.swap_overhead_fraction(),
+        );
         assert!(a > 0.0 && a < 0.01, "idd overhead = {a}");
         assert!(b > 0.0 && b < 0.02, "simple overhead = {b}");
         // Same order of magnitude.

@@ -44,6 +44,7 @@ pub mod error;
 pub mod geometry;
 pub mod hammer;
 pub mod idd;
+pub mod json;
 pub mod power;
 pub mod timing;
 

@@ -150,9 +150,7 @@ mod tests {
         let mut line = CommandCounts::new();
         line.record(DramCommand::Read);
         // One row transfer moves 128 lines; it must cost far more than one.
-        assert!(
-            m.command_energy_nj(&swap, 128) > 50.0 * m.command_energy_nj(&line, 128)
-        );
+        assert!(m.command_energy_nj(&swap, 128) > 50.0 * m.command_energy_nj(&line, 128));
     }
 
     #[test]

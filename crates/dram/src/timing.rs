@@ -207,8 +207,8 @@ mod tests {
         let scaled = base.with_epoch_scale(32);
         assert_eq!(scaled.epoch, base.epoch / 32);
         // ACT_max scales by the same factor (within rounding).
-        let ratio = base.max_activations_per_epoch() as f64
-            / scaled.max_activations_per_epoch() as f64;
+        let ratio =
+            base.max_activations_per_epoch() as f64 / scaled.max_activations_per_epoch() as f64;
         assert!((ratio - 32.0).abs() < 0.1, "ratio = {ratio}");
         // Device timing is untouched.
         assert_eq!(scaled.t_rc, base.t_rc);

@@ -159,6 +159,10 @@ pub struct MemoryController {
     next_epoch: Cycle,
     epoch_swaps: u64,
     stats: ControllerStats,
+    /// Reused mitigation-action buffer: activations are the hot path, and
+    /// most produce no actions, so allocating a fresh `Vec` each time is
+    /// pure overhead.
+    action_scratch: Vec<MitigationAction>,
 }
 
 impl MemoryController {
@@ -179,6 +183,7 @@ impl MemoryController {
             next_epoch: config.timing.epoch,
             epoch_swaps: 0,
             stats: ControllerStats::default(),
+            action_scratch: Vec::new(),
             mitigation,
             config,
         }
@@ -202,6 +207,12 @@ impl MemoryController {
     /// Accumulated statistics.
     pub fn stats(&self) -> &ControllerStats {
         &self.stats
+    }
+
+    /// Takes the accumulated statistics, leaving an empty block behind —
+    /// end-of-run consumers use this to avoid cloning the epoch histories.
+    pub fn take_stats(&mut self) -> ControllerStats {
+        std::mem::take(&mut self.stats)
     }
 
     /// The fault model (read access).
@@ -277,9 +288,11 @@ impl MemoryController {
             let at = at + delay;
             self.stats.activations += 1;
             self.hammer.record_activation(physical);
-            let mut actions = Vec::new();
+            let mut actions = std::mem::take(&mut self.action_scratch);
+            actions.clear();
             self.mitigation.on_activation(logical, at, &mut actions);
             self.execute_actions(&actions, at);
+            self.action_scratch = actions;
         } else {
             self.stats.row_hits += 1;
         }
@@ -345,19 +358,19 @@ impl MemoryController {
 
     fn end_epoch(&mut self) {
         let at = self.next_epoch.min(self.clock.max(self.next_epoch));
-        self.stats
-            .epoch_hot_row_history
-            .push(
-                self.hammer
-                    .rows_with_activations_at_least(self.config.act_stat_threshold),
-            );
+        self.stats.epoch_hot_row_history.push(
+            self.hammer
+                .rows_with_activations_at_least(self.config.act_stat_threshold),
+        );
         self.stats
             .epoch_swap_history
             .push(std::mem::take(&mut self.epoch_swaps));
         self.hammer.end_epoch();
-        let mut actions = Vec::new();
+        let mut actions = std::mem::take(&mut self.action_scratch);
+        actions.clear();
         self.mitigation.on_epoch_end(at, &mut actions);
         self.execute_actions(&actions, at);
+        self.action_scratch = actions;
         for b in &mut self.banks {
             b.begin_epoch();
         }
@@ -436,7 +449,10 @@ mod tests {
     use crate::mitigation::NoMitigation;
 
     fn controller() -> MemoryController {
-        MemoryController::new(ControllerConfig::test_config(), Box::new(NoMitigation::new()))
+        MemoryController::new(
+            ControllerConfig::test_config(),
+            Box::new(NoMitigation::new()),
+        )
     }
 
     #[test]
@@ -445,7 +461,10 @@ mod tests {
         let done = c.access(0, false, 100);
         let t = c.config().timing;
         assert!(done >= 100 + t.t_rcd + t.t_cas);
-        assert!(done < 100 + 10 * t.t_rc, "latency unexpectedly high: {done}");
+        assert!(
+            done < 100 + 10 * t.t_rc,
+            "latency unexpectedly high: {done}"
+        );
         assert_eq!(c.stats().reads, 1);
         assert_eq!(c.stats().activations, 1);
     }
@@ -470,7 +489,7 @@ mod tests {
         );
         let a = c2.access(0, false, 0); // channel 0
         let b = c2.access(64, false, 0); // channel 1
-        // Both complete at the same uncontended latency.
+                                         // Both complete at the same uncontended latency.
         assert_eq!(a, b);
     }
 
@@ -605,7 +624,7 @@ mod tests {
         let d1 = c.access(0, false, 0);
         assert_eq!(c.stats().swaps, 1);
         assert!(c.stats().swap_busy_cycles > 4_000); // ~1.46 µs at 3.2 GHz
-        // Next access on the channel waits out the swap.
+                                                     // Next access on the channel waits out the swap.
         let d2 = c.access(1 << 20, false, d1);
         assert!(d2 >= c.stats().swap_busy_cycles);
     }
@@ -667,8 +686,7 @@ mod tests {
                 actions.push(MitigationAction::FullRefresh);
             }
         }
-        let mut c =
-            MemoryController::new(ControllerConfig::test_config(), Box::new(PanicButton));
+        let mut c = MemoryController::new(ControllerConfig::test_config(), Box::new(PanicButton));
         let d1 = c.access(0, false, 0);
         assert_eq!(c.stats().full_refreshes, 1);
         let d2 = c.access(1 << 20, false, d1);

@@ -1,0 +1,92 @@
+//! JSON conversions for [`ControllerStats`], the per-run statistics block
+//! embedded in serialized campaign results. Field order is fixed
+//! (declaration order) for byte-identical re-serialization.
+
+use rrs_json::{FromJson, Json, JsonError, ToJson};
+
+use crate::controller::ControllerStats;
+
+impl ToJson for ControllerStats {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("reads".into(), Json::u64(self.reads)),
+            ("writes".into(), Json::u64(self.writes)),
+            ("activations".into(), Json::u64(self.activations)),
+            ("row_hits".into(), Json::u64(self.row_hits)),
+            ("swaps".into(), Json::u64(self.swaps)),
+            ("unswaps".into(), Json::u64(self.unswaps)),
+            (
+                "targeted_refreshes".into(),
+                Json::u64(self.targeted_refreshes),
+            ),
+            ("full_refreshes".into(), Json::u64(self.full_refreshes)),
+            (
+                "mitigation_delay_cycles".into(),
+                Json::u64(self.mitigation_delay_cycles),
+            ),
+            ("swap_busy_cycles".into(), Json::u64(self.swap_busy_cycles)),
+            ("epochs_completed".into(), Json::u64(self.epochs_completed)),
+            (
+                "epoch_swap_history".into(),
+                self.epoch_swap_history.to_json(),
+            ),
+            (
+                "epoch_hot_row_history".into(),
+                self.epoch_hot_row_history.to_json(),
+            ),
+        ])
+    }
+}
+
+impl FromJson for ControllerStats {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(ControllerStats {
+            reads: u64::from_json(json.field("reads")?)?,
+            writes: u64::from_json(json.field("writes")?)?,
+            activations: u64::from_json(json.field("activations")?)?,
+            row_hits: u64::from_json(json.field("row_hits")?)?,
+            swaps: u64::from_json(json.field("swaps")?)?,
+            unswaps: u64::from_json(json.field("unswaps")?)?,
+            targeted_refreshes: u64::from_json(json.field("targeted_refreshes")?)?,
+            full_refreshes: u64::from_json(json.field("full_refreshes")?)?,
+            mitigation_delay_cycles: u64::from_json(json.field("mitigation_delay_cycles")?)?,
+            swap_busy_cycles: u64::from_json(json.field("swap_busy_cycles")?)?,
+            epochs_completed: u64::from_json(json.field("epochs_completed")?)?,
+            epoch_swap_history: Vec::from_json(json.field("epoch_swap_history")?)?,
+            epoch_hot_row_history: Vec::from_json(json.field("epoch_hot_row_history")?)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn controller_stats_round_trip() {
+        let s = ControllerStats {
+            reads: 10,
+            writes: 20,
+            activations: 5,
+            row_hits: 25,
+            swaps: 2,
+            unswaps: 1,
+            targeted_refreshes: 3,
+            full_refreshes: 0,
+            mitigation_delay_cycles: 99,
+            swap_busy_cycles: 1_000_000,
+            epochs_completed: 4,
+            epoch_swap_history: vec![0, 1, 0, 1],
+            epoch_hot_row_history: vec![2, 2, 3, 1],
+        };
+        let back = ControllerStats::from_json(&s.to_json()).unwrap();
+        assert_eq!(back.reads, s.reads);
+        assert_eq!(back.epoch_swap_history, s.epoch_swap_history);
+        assert_eq!(back.epoch_hot_row_history, s.epoch_hot_row_history);
+        // Re-serialization is byte-identical.
+        assert_eq!(
+            back.to_json().to_string_compact(),
+            s.to_json().to_string_compact()
+        );
+    }
+}

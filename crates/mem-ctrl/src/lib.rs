@@ -27,6 +27,7 @@
 //! ```
 
 pub mod controller;
+pub mod json;
 pub mod mapping;
 pub mod mitigation;
 pub mod scheduler;

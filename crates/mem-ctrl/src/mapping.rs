@@ -35,7 +35,10 @@ pub struct AddressMapper {
 const LINE_BITS: u32 = 6;
 
 fn bits_for(n: usize) -> u32 {
-    assert!(n.is_power_of_two(), "geometry dimensions must be powers of two");
+    assert!(
+        n.is_power_of_two(),
+        "geometry dimensions must be powers of two"
+    );
     n.trailing_zeros()
 }
 
@@ -170,8 +173,8 @@ mod tests {
         let m = AddressMapper::new(DramGeometry::asplos22_baseline());
         // Stride of one full row (8 KB) * channels * banks * ranks walks rows.
         let g = DramGeometry::asplos22_baseline();
-        let stride = (g.row_size_bytes * g.channels * g.banks_per_rank * g.ranks_per_channel)
-            as u64;
+        let stride =
+            (g.row_size_bytes * g.channels * g.banks_per_rank * g.ranks_per_channel) as u64;
         let a = m.decode(0);
         let b = m.decode(stride);
         assert_eq!(a.row.bank, b.row.bank);

@@ -79,7 +79,9 @@ impl QueuedController {
     ) -> Self {
         QueuedController {
             mapper: AddressMapper::new(geometry),
-            banks: (0..geometry.total_banks()).map(|_| Bank::new(timing)).collect(),
+            banks: (0..geometry.total_banks())
+                .map(|_| Bank::new(timing))
+                .collect(),
             queues: (0..geometry.channels).map(|_| VecDeque::new()).collect(),
             bus_free: vec![0; geometry.channels],
             completions: Vec::new(),
@@ -269,7 +271,9 @@ mod tests {
         // Interleaved rows A,B,A,B...: FCFS ping-pongs (all activations
         // after the first), FR-FCFS reorders to serve each row's requests
         // together (half the activations).
-        let pattern: Vec<(u32, u32)> = (0..16).map(|i| (if i % 2 == 0 { 5 } else { 9 }, i / 2)).collect();
+        let pattern: Vec<(u32, u32)> = (0..16)
+            .map(|i| (if i % 2 == 0 { 5 } else { 9 }, i / 2))
+            .collect();
         let run = |policy| {
             let mut c = controller(policy);
             for (i, (row, col)) in pattern.iter().enumerate() {

@@ -1,64 +1,74 @@
 //! Property-based tests for address mapping and controller behaviour.
 
-use proptest::collection::vec;
-use proptest::prelude::*;
-
+use rrs_check::{check, Gen};
 use rrs_dram::geometry::DramGeometry;
 use rrs_mem_ctrl::controller::{ControllerConfig, MemoryController};
 use rrs_mem_ctrl::mapping::AddressMapper;
 use rrs_mem_ctrl::mitigation::NoMitigation;
 
-/// Strategy over valid (power-of-two) geometries.
-fn geometries() -> impl Strategy<Value = DramGeometry> {
-    (0u32..2, 0u32..2, 1u32..5, 8u32..12).prop_map(|(ch, rk, bk, rows)| DramGeometry {
-        channels: 1 << ch,
-        ranks_per_channel: 1 << rk,
-        banks_per_rank: 1 << bk,
-        rows_per_bank: 1 << rows,
+/// Draws a valid (power-of-two) geometry.
+fn geometry(g: &mut Gen) -> DramGeometry {
+    DramGeometry {
+        channels: 1 << g.u32_in(0..2),
+        ranks_per_channel: 1 << g.u32_in(0..2),
+        banks_per_rank: 1 << g.u32_in(1..5),
+        rows_per_bank: 1 << g.u32_in(8..12),
         row_size_bytes: 8 * 1024,
-    })
+    }
 }
 
-proptest! {
-    /// decode/encode round-trips for any in-range line-aligned address on
-    /// any valid geometry.
-    #[test]
-    fn mapper_round_trips(g in geometries(), raw in any::<u64>()) {
-        let m = AddressMapper::new(g);
+/// decode/encode round-trips for any in-range line-aligned address on
+/// any valid geometry.
+#[test]
+fn mapper_round_trips() {
+    check(|g| {
+        let geom = geometry(g);
+        let raw = g.u64();
+        let m = AddressMapper::new(geom);
         let addr = (raw % m.address_space()) & !63;
         let d = m.decode(addr);
-        prop_assert!(g.contains(d.row));
-        prop_assert_eq!(m.encode(d), addr);
-    }
+        assert!(geom.contains(d.row));
+        assert_eq!(m.encode(d), addr);
+    });
+}
 
-    /// nth_row enumerates a bijection over all rows of any geometry.
-    #[test]
-    fn nth_row_is_a_bijection(g in geometries()) {
-        let m = AddressMapper::new(g);
+/// nth_row enumerates a bijection over all rows of any geometry.
+#[test]
+fn nth_row_is_a_bijection() {
+    check(|g| {
+        let geom = geometry(g);
+        let m = AddressMapper::new(geom);
         let total = m.total_rows();
         let mut seen = std::collections::HashSet::new();
         for i in 0..total {
-            prop_assert!(seen.insert(m.nth_row(i)), "duplicate at {}", i);
+            assert!(seen.insert(m.nth_row(i)), "duplicate at {}", i);
         }
-        prop_assert_eq!(seen.len() as u64, total);
-    }
+        assert_eq!(seen.len() as u64, total);
+    });
+}
 
-    /// Distinct line-aligned addresses decode to distinct (row, column)
-    /// coordinates — the mapping never aliases.
-    #[test]
-    fn mapping_never_aliases(a in any::<u64>(), b in any::<u64>()) {
+/// Distinct line-aligned addresses decode to distinct (row, column)
+/// coordinates — the mapping never aliases.
+#[test]
+fn mapping_never_aliases() {
+    check(|g| {
         let m = AddressMapper::new(DramGeometry::asplos22_baseline());
-        let a = (a % m.address_space()) & !63;
-        let b = (b % m.address_space()) & !63;
-        prop_assume!(a != b);
-        prop_assert_ne!(m.decode(a), m.decode(b));
-    }
+        let a = (g.u64() % m.address_space()) & !63;
+        let b = (g.u64() % m.address_space()) & !63;
+        if a == b {
+            return;
+        }
+        assert_ne!(m.decode(a), m.decode(b));
+    });
+}
 
-    /// Controller causality: completions are strictly after requests, and
-    /// requests presented in non-decreasing time order never produce
-    /// out-of-thin-air early completions.
-    #[test]
-    fn controller_is_causal(reqs in vec((any::<u64>(), any::<bool>(), 0u64..2_000), 1..80)) {
+/// Controller causality: completions are strictly after requests, and
+/// requests presented in non-decreasing time order never produce
+/// out-of-thin-air early completions.
+#[test]
+fn controller_is_causal() {
+    check(|g| {
+        let reqs = g.vec(1..80, |g| (g.u64(), g.bool(), g.u64_in(0..2_000)));
         let mut mc = MemoryController::new(
             ControllerConfig::test_config(),
             Box::new(NoMitigation::new()),
@@ -67,14 +77,17 @@ proptest! {
         for (addr, is_write, gap) in reqs {
             now += gap;
             let done = mc.access(addr, is_write, now);
-            prop_assert!(done > now, "completion {} <= request {}", done, now);
+            assert!(done > now, "completion {} <= request {}", done, now);
         }
-    }
+    });
+}
 
-    /// Statistics conservation: reads + writes equals requests served, and
-    /// every access is either a row hit or an activation.
-    #[test]
-    fn controller_stats_conserve(reqs in vec((any::<u64>(), any::<bool>()), 1..100)) {
+/// Statistics conservation: reads + writes equals requests served, and
+/// every access is either a row hit or an activation.
+#[test]
+fn controller_stats_conserve() {
+    check(|g| {
+        let reqs = g.vec(1..100, |g| (g.u64(), g.bool()));
         let mut mc = MemoryController::new(
             ControllerConfig::test_config(),
             Box::new(NoMitigation::new()),
@@ -84,7 +97,7 @@ proptest! {
             now = mc.access(*addr, *is_write, now);
         }
         let s = mc.stats();
-        prop_assert_eq!(s.reads + s.writes, reqs.len() as u64);
-        prop_assert_eq!(s.activations + s.row_hits, reqs.len() as u64);
-    }
+        assert_eq!(s.reads + s.writes, reqs.len() as u64);
+        assert_eq!(s.activations + s.row_hits, reqs.len() as u64);
+    });
 }

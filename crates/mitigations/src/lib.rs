@@ -86,6 +86,21 @@ pub mod factory {
             MitigationKind::Para,
             MitigationKind::ProbabilisticRrs,
         ];
+
+        /// Canonical short slug — the CLI's `--defense` vocabulary, also
+        /// used in campaign cell ids and result filenames.
+        pub fn name(&self) -> &'static str {
+            match self {
+                MitigationKind::None => "none",
+                MitigationKind::Rrs => "rrs",
+                MitigationKind::BlockHammer512 => "bh-512",
+                MitigationKind::BlockHammer1k => "bh-1k",
+                MitigationKind::VictimRefresh => "vfm",
+                MitigationKind::Graphene => "graphene",
+                MitigationKind::Para => "para",
+                MitigationKind::ProbabilisticRrs => "prob-rrs",
+            }
+        }
     }
 
     /// Builds the defense for a Row Hammer threshold of `t_rh` on

@@ -161,10 +161,8 @@ mod tests {
         // performs zero swaps while the stateless variant swaps ~p per ACT.
         let g = DramGeometry::tiny_test();
         let mut prob = ProbabilisticRrs::for_t_rrs(10, 1_000, g, 5);
-        let mut tracked = crate::rrs::RrsMitigation::new(
-            rrs_core::RrsConfig::for_threshold(60, 1_000, 1_024),
-            g,
-        );
+        let mut tracked =
+            crate::rrs::RrsMitigation::new(rrs_core::RrsConfig::for_threshold(60, 1_000, 1_024), g);
         let mut pa = Vec::new();
         let mut ta = Vec::new();
         for i in 0..900u32 {

@@ -18,7 +18,7 @@ use rrs_dram::timing::TimingParams;
 use rrs_mem_ctrl::controller::ControllerConfig;
 use rrs_mem_ctrl::mitigation::Mitigation;
 use rrs_sim::config::SystemConfig;
-use rrs_sim::runner::{run, SimResult};
+use rrs_sim::runner::{run_with, SimResult};
 use rrs_sim::trace::TraceSource;
 use rrs_workloads::attacks::{Attack, AttackKind, IdleFiller};
 use rrs_workloads::catalog::Workload;
@@ -30,7 +30,7 @@ pub use rrs_mitigations::factory::MitigationKind;
 pub const FULL_SCALE_T_RH: u64 = 4_800;
 
 /// Configuration of a (possibly scaled) experiment.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ExperimentConfig {
     /// Time-scale factor `s` (must divide 800; 1 = paper scale).
     pub scale: u64,
@@ -150,8 +150,8 @@ impl ExperimentConfig {
             act_stat_threshold: (800 / self.scale).max(1),
             page_policy: Default::default(),
         };
-        let mut sys = SystemConfig::asplos22_baseline(self.instructions_per_core)
-            .with_controller(controller);
+        let mut sys =
+            SystemConfig::asplos22_baseline(self.instructions_per_core).with_controller(controller);
         sys.cores = self.cores;
         sys
     }
@@ -170,8 +170,12 @@ impl ExperimentConfig {
     /// Runs a benign workload under a mitigation.
     pub fn run_workload(&self, workload: &Workload, kind: MitigationKind) -> SimResult {
         let sys = self.system_config();
-        let sources = sources_for_workload(workload, &sys, self.seed);
-        run(&sys, self.build_mitigation(kind), sources, workload.name())
+        run_with(
+            &sys,
+            || self.build_mitigation(kind),
+            || sources_for_workload(workload, &sys, self.seed),
+            workload.name(),
+        )
     }
 
     /// Runs an attack campaign of roughly `epochs` scaled refresh windows:
@@ -193,14 +197,26 @@ impl ExperimentConfig {
         // Classic patterns run as a realistic campaign: ~4×T_RH activations
         // per aggressor, then move to the next victim group. Half-Double
         // and the randomized patterns keep their defining concentration.
-        let attacker = Attack::new(attack, mapper, self.seed).with_rotation(8 * self.t_rh());
-        let mut sources: Vec<Box<dyn TraceSource>> = vec![Box::new(attacker)];
-        for c in 1..sys.cores {
-            sources.push(Box::new(IdleFiller::new(c)));
-        }
-        let result = run(&sys, self.build_mitigation(kind), sources, &name);
+        let rotation = 8 * self.t_rh();
+        let seed = self.seed;
+        let cores = sys.cores;
+        let mut result = run_with(
+            &sys,
+            || self.build_mitigation(kind),
+            move || {
+                let attacker = Attack::new(attack, mapper, seed).with_rotation(rotation);
+                let mut sources: Vec<Box<dyn TraceSource>> = vec![Box::new(attacker)];
+                for c in 1..cores {
+                    sources.push(Box::new(IdleFiller::new(c)));
+                }
+                sources
+            },
+            &name,
+        );
+        // The flips are *moved* into the outcome (not cloned): read them
+        // from `outcome.bit_flips`, not `outcome.result.bit_flips`.
         AttackOutcome {
-            bit_flips: result.bit_flips.clone(),
+            bit_flips: std::mem::take(&mut result.bit_flips),
             result,
         }
     }
@@ -219,7 +235,8 @@ impl ExperimentConfig {
 pub struct AttackOutcome {
     /// Bit flips the fault model recorded.
     pub bit_flips: Vec<BitFlip>,
-    /// The underlying simulation result (swaps, delays, IPC, ...).
+    /// The underlying simulation result (swaps, delays, IPC, ...). Its
+    /// `bit_flips` were drained into the field above.
     pub result: SimResult,
 }
 

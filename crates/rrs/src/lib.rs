@@ -17,7 +17,9 @@
 //!   refresh, PARA, probabilistic RRS);
 //! * [`analysis`] — the security/storage/power analytic models;
 //! * [`experiments`] — the shared harness used by `examples/`, `tests/`,
-//!   and the `bench` crate to regenerate the paper's tables and figures.
+//!   and the `bench` crate to regenerate the paper's tables and figures;
+//! * [`campaign`] — the declarative parallel grid runner those harnesses
+//!   execute through (dedup, caching, deterministic parallelism).
 //!
 //! ## Quick start
 //!
@@ -44,4 +46,5 @@ pub use rrs_workloads as workloads;
 
 pub use rrs_mem_ctrl::mitigation::Mitigation;
 
+pub mod campaign;
 pub mod experiments;

@@ -92,8 +92,7 @@ mod tests {
 
     #[test]
     fn builders_compose() {
-        let c = SystemConfig::test_config(100)
-            .with_llc(LlcConfig::tiny_test());
+        let c = SystemConfig::test_config(100).with_llc(LlcConfig::tiny_test());
         assert!(c.llc.is_some());
     }
 }

@@ -102,6 +102,42 @@ impl Default for LatencyStats {
     }
 }
 
+impl rrs_json::ToJson for LatencyStats {
+    fn to_json(&self) -> rrs_json::Json {
+        use rrs_json::Json;
+        Json::Obj(vec![
+            (
+                "buckets".into(),
+                Json::Arr(self.buckets.iter().map(|&b| Json::u64(b)).collect()),
+            ),
+            ("count".into(), Json::u64(self.count)),
+            ("sum".into(), Json::u128(self.sum)),
+            ("max".into(), Json::u64(self.max)),
+        ])
+    }
+}
+
+impl rrs_json::FromJson for LatencyStats {
+    fn from_json(json: &rrs_json::Json) -> Result<Self, rrs_json::JsonError> {
+        use rrs_json::JsonError;
+        let raw: Vec<u64> = Vec::from_json(json.field("buckets")?)?;
+        if raw.len() != BUCKETS {
+            return Err(JsonError(format!(
+                "expected {BUCKETS} latency buckets, got {}",
+                raw.len()
+            )));
+        }
+        let mut buckets = [0u64; BUCKETS];
+        buckets.copy_from_slice(&raw);
+        Ok(LatencyStats {
+            buckets,
+            count: u64::from_json(json.field("count")?)?,
+            sum: u128::from_json(json.field("sum")?)?,
+            max: u64::from_json(json.field("max")?)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -159,5 +195,33 @@ mod tests {
     #[should_panic(expected = "quantile out of range")]
     fn zero_quantile_panics() {
         LatencyStats::new().quantile(0.0);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_histogram() {
+        use rrs_json::{FromJson, ToJson};
+        let mut h = LatencyStats::new();
+        for v in [1u64, 100, 10_000, u64::MAX / 2] {
+            h.record(v);
+        }
+        let back = LatencyStats::from_json(&h.to_json()).unwrap();
+        assert_eq!(back.count(), h.count());
+        assert_eq!(back.mean(), h.mean());
+        assert_eq!(back.max(), h.max());
+        assert_eq!(back.p99(), h.p99());
+        assert_eq!(
+            back.to_json().to_string_compact(),
+            h.to_json().to_string_compact()
+        );
+    }
+
+    #[test]
+    fn json_rejects_wrong_bucket_count() {
+        use rrs_json::{FromJson, Json, ToJson};
+        let mut j = LatencyStats::new().to_json();
+        if let Json::Obj(fields) = &mut j {
+            fields[0].1 = Json::Arr(vec![Json::u64(0); 3]);
+        }
+        assert!(LatencyStats::from_json(&j).is_err());
     }
 }

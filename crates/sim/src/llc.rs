@@ -159,9 +159,8 @@ impl Llc {
             .map(|(i, _)| i)
             .expect("nonzero associativity");
         let v = &mut ways[victim];
-        let writeback = (v.valid && v.dirty).then(|| {
-            (v.tag * self.sets as u64 + set as u64) * self.config.line_bytes as u64
-        });
+        let writeback = (v.valid && v.dirty)
+            .then(|| (v.tag * self.sets as u64 + set as u64) * self.config.line_bytes as u64);
         *v = Line {
             tag,
             dirty: is_write,

@@ -1,9 +1,7 @@
 //! Property-based tests for the simulator layer: the LLC against a
 //! reference model, and determinism of the multi-core runner.
 
-use proptest::collection::vec;
-use proptest::prelude::*;
-
+use rrs_check::check;
 use rrs_mem_ctrl::mitigation::NoMitigation;
 use rrs_sim::config::SystemConfig;
 use rrs_sim::llc::{Llc, LlcConfig};
@@ -50,26 +48,31 @@ impl RefCache {
     }
 }
 
-proptest! {
-    /// The LLC agrees with the reference LRU model on hits and write-backs
-    /// for arbitrary access streams.
-    #[test]
-    fn llc_matches_reference_model(accesses in vec((0u64..(1 << 16), any::<bool>()), 1..400)) {
+/// The LLC agrees with the reference LRU model on hits and write-backs
+/// for arbitrary access streams.
+#[test]
+fn llc_matches_reference_model() {
+    check(|g| {
+        let accesses = g.vec(1..400, |g| (g.u64_in(0..(1 << 16)), g.bool()));
         let cfg = LlcConfig::tiny_test();
         let mut llc = Llc::new(cfg);
         let mut reference = RefCache::new(cfg);
         for (addr, is_write) in accesses {
             let got = llc.access(addr, is_write);
             let (hit, wb) = reference.access(addr, is_write);
-            prop_assert_eq!(got.hit, hit, "hit mismatch at {:#x}", addr);
-            prop_assert_eq!(got.writeback, wb, "writeback mismatch at {:#x}", addr);
+            assert_eq!(got.hit, hit, "hit mismatch at {:#x}", addr);
+            assert_eq!(got.writeback, wb, "writeback mismatch at {:#x}", addr);
         }
-    }
+    });
+}
 
-    /// The multi-core runner is deterministic: identical configurations
-    /// and sources produce bit-identical results.
-    #[test]
-    fn runner_is_deterministic(seed in any::<u64>(), instr in 500u64..5_000) {
+/// The multi-core runner is deterministic: identical configurations
+/// and sources produce bit-identical results.
+#[test]
+fn runner_is_deterministic() {
+    check(|g| {
+        let seed = g.u64();
+        let instr = g.u64_in(500..5_000);
         let make_sources = |seed: u64| -> Vec<Box<dyn TraceSource>> {
             (0..2u64)
                 .map(|core| {
@@ -86,18 +89,31 @@ proptest! {
                 .collect()
         };
         let config = SystemConfig::test_config(instr);
-        let a = run(&config, Box::new(NoMitigation::new()), make_sources(seed), "a");
-        let b = run(&config, Box::new(NoMitigation::new()), make_sources(seed), "b");
-        prop_assert_eq!(a.cycles, b.cycles);
-        prop_assert_eq!(a.core_ipc, b.core_ipc);
-        prop_assert_eq!(a.stats.activations, b.stats.activations);
-        prop_assert_eq!(a.stats.row_hits, b.stats.row_hits);
-    }
+        let a = run(
+            &config,
+            Box::new(NoMitigation::new()),
+            make_sources(seed),
+            "a",
+        );
+        let b = run(
+            &config,
+            Box::new(NoMitigation::new()),
+            make_sources(seed),
+            "b",
+        );
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.core_ipc, b.core_ipc);
+        assert_eq!(a.stats.activations, b.stats.activations);
+        assert_eq!(a.stats.row_hits, b.stats.row_hits);
+    });
+}
 
-    /// Instruction accounting: every core retires at least the configured
-    /// budget, and IPC never exceeds the fetch width.
-    #[test]
-    fn runner_instruction_accounting(instr in 100u64..3_000) {
+/// Instruction accounting: every core retires at least the configured
+/// budget, and IPC never exceeds the fetch width.
+#[test]
+fn runner_instruction_accounting() {
+    check(|g| {
+        let instr = g.u64_in(100..3_000);
         let config = SystemConfig::test_config(instr);
         let sources: Vec<Box<dyn TraceSource>> = (0..2u64)
             .map(|core| {
@@ -109,9 +125,9 @@ proptest! {
             })
             .collect();
         let r = run(&config, Box::new(NoMitigation::new()), sources, "acct");
-        prop_assert!(r.total_instructions >= 2 * instr);
+        assert!(r.total_instructions >= 2 * instr);
         for ipc in &r.core_ipc {
-            prop_assert!(*ipc <= config.fetch_width as f64 + 1e-9);
+            assert!(*ipc <= config.fetch_width as f64 + 1e-9);
         }
-    }
+    });
 }

@@ -404,7 +404,10 @@ mod tests {
     fn file_save_and_load() {
         let dir = std::env::temp_dir().join("rrs_trace_test");
         std::fs::create_dir_all(&dir).unwrap();
-        for (format, name) in [(TraceFormat::Binary, "t.rrst"), (TraceFormat::Text, "t.txt")] {
+        for (format, name) in [
+            (TraceFormat::Binary, "t.rrst"),
+            (TraceFormat::Text, "t.txt"),
+        ] {
             let path = dir.join(name);
             save(&path, &sample(), format).unwrap();
             assert_eq!(load(&path).unwrap(), sample());

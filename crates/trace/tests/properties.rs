@@ -1,66 +1,75 @@
 //! Property-based tests for the trace codecs: round-trips for arbitrary
 //! records, and no panics on arbitrary (malformed) input bytes.
 
-use proptest::collection::vec;
-use proptest::prelude::*;
-
+use rrs_check::{check, Gen};
 use rrs_sim::trace::TraceRecord;
 use rrs_trace::{read_records, write_records, TraceFormat};
 
-fn records() -> impl Strategy<Value = Vec<TraceRecord>> {
-    vec(
-        (any::<u32>(), any::<u64>(), any::<bool>()).prop_map(|(gap, addr, is_write)| TraceRecord {
-            gap,
-            addr,
-            is_write,
-        }),
-        0..100,
-    )
+fn records(g: &mut Gen) -> Vec<TraceRecord> {
+    g.vec(0..100, |g| TraceRecord {
+        gap: g.u32(),
+        addr: g.u64(),
+        is_write: g.bool(),
+    })
 }
 
-proptest! {
-    /// Binary round-trip is exact for any record set.
-    #[test]
-    fn binary_round_trip(recs in records()) {
+/// Binary round-trip is exact for any record set.
+#[test]
+fn binary_round_trip() {
+    check(|g| {
+        let recs = records(g);
         let mut buf = Vec::new();
         write_records(&mut buf, &recs, TraceFormat::Binary).unwrap();
-        prop_assert_eq!(read_records(&buf[..]).unwrap(), recs);
-    }
+        assert_eq!(read_records(&buf[..]).unwrap(), recs);
+    });
+}
 
-    /// Text round-trip is exact for any record set.
-    #[test]
-    fn text_round_trip(recs in records()) {
+/// Text round-trip is exact for any record set.
+#[test]
+fn text_round_trip() {
+    check(|g| {
+        let recs = records(g);
         let mut buf = Vec::new();
         write_records(&mut buf, &recs, TraceFormat::Text).unwrap();
-        prop_assert_eq!(read_records(&buf[..]).unwrap(), recs);
-    }
+        assert_eq!(read_records(&buf[..]).unwrap(), recs);
+    });
+}
 
-    /// Arbitrary bytes never panic the reader — they parse or they error.
-    #[test]
-    fn arbitrary_bytes_never_panic(bytes in vec(any::<u8>(), 0..200)) {
+/// Arbitrary bytes never panic the reader — they parse or they error.
+#[test]
+fn arbitrary_bytes_never_panic() {
+    check(|g| {
+        let bytes = g.vec(0..200, |g| g.u8());
         let _ = read_records(&bytes[..]);
-    }
+    });
+}
 
-    /// Arbitrary bytes *behind a valid binary header* never panic either.
-    #[test]
-    fn arbitrary_binary_bodies_never_panic(bytes in vec(any::<u8>(), 0..200)) {
+/// Arbitrary bytes *behind a valid binary header* never panic either.
+#[test]
+fn arbitrary_binary_bodies_never_panic() {
+    check(|g| {
+        let bytes = g.vec(0..200, |g| g.u8());
         let mut buf = Vec::new();
         buf.extend_from_slice(rrs_trace::MAGIC);
         buf.extend_from_slice(&rrs_trace::VERSION.to_le_bytes());
         buf.extend_from_slice(&bytes);
         match read_records(&buf[..]) {
-            Ok(recs) => prop_assert_eq!(recs.len(), bytes.len() / 13),
-            Err(e) => prop_assert!(matches!(e, rrs_trace::TraceError::Truncated)),
+            Ok(recs) => assert_eq!(recs.len(), bytes.len() / 13),
+            Err(e) => assert!(matches!(e, rrs_trace::TraceError::Truncated)),
         }
-    }
+    });
+}
 
-    /// Text lines with arbitrary whitespace and case parse equivalently.
-    #[test]
-    fn text_is_whitespace_tolerant(gap in any::<u32>(), addr in any::<u64>()) {
+/// Text lines with arbitrary whitespace and case parse equivalently.
+#[test]
+fn text_is_whitespace_tolerant() {
+    check(|g| {
+        let gap = g.u32();
+        let addr = g.u64();
         let canonical = format!("{gap} R {addr:#x}\n");
         let messy = format!("  {gap}\t r   {addr:#X}  \n");
         let a = read_records(canonical.as_bytes()).unwrap();
         let b = read_records(messy.as_bytes()).unwrap();
-        prop_assert_eq!(a, b);
-    }
+        assert_eq!(a, b);
+    });
 }

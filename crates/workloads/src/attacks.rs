@@ -26,9 +26,7 @@
 //!   activations to a few rows, which BlockHammer throttles by ~200×;
 //! * [`AttackKind::UniformRandom`] — noise baseline.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
+use rrs_core::rng::DetRng;
 use rrs_dram::geometry::RowAddr;
 use rrs_mem_ctrl::mapping::AddressMapper;
 use rrs_sim::trace::{TraceRecord, TraceSource};
@@ -101,7 +99,7 @@ pub struct Attack {
     rotate_after: Option<u64>,
     accesses_in_group: u64,
     group_offset: u32,
-    rng: StdRng,
+    rng: DetRng,
 }
 
 /// The victim row all fixed patterns aim at (mid-bank, away from edges).
@@ -125,11 +123,11 @@ impl Attack {
                 // repeated with its own intensity (1..=4 consecutive
                 // double-sided rounds per visit) — a fixed randomized
                 // schedule, re-rolled per seed like Blacksmith's fuzzer.
-                let mut rng = StdRng::seed_from_u64(seed ^ 0xB1AC);
+                let mut rng = DetRng::seed_from_u64(seed ^ 0xB1AC);
                 let mut schedule = Vec::new();
                 for i in 0..n.max(1) {
                     let victim = v + 10 * i;
-                    let intensity = rng.random_range(1..=4);
+                    let intensity = 1 + rng.next_below(4) as u32;
                     for _ in 0..intensity {
                         schedule.push(victim - 1);
                         schedule.push(victim + 1);
@@ -151,7 +149,7 @@ impl Attack {
             rotate_after: None,
             accesses_in_group: 0,
             group_offset: 0,
-            rng: StdRng::seed_from_u64(seed ^ 0xA77AC4),
+            rng: DetRng::seed_from_u64(seed ^ 0xA77AC4),
         };
         if let AttackKind::SwapChasing { .. } | AttackKind::UniformRandom = kind {
             attack.repick();
@@ -180,8 +178,8 @@ impl Attack {
 
     fn repick(&mut self) {
         // Two fresh random aggressors (a pair, so every access activates).
-        let a = self.rng.random_range(0..self.rows_per_bank);
-        let b = self.rng.random_range(0..self.rows_per_bank);
+        let a = self.rng.next_below(self.rows_per_bank as u64) as u32;
+        let b = self.rng.next_below(self.rows_per_bank as u64) as u32;
         self.aggressors = vec![a, b];
         self.budget = match self.kind {
             // T activations per row: 2T accesses for the pair.
@@ -206,11 +204,14 @@ impl Attack {
                     if self.accesses_in_group >= limit {
                         // Move the campaign to a fresh neighbourhood.
                         self.accesses_in_group = 0;
-                        let max_aggr = *self.aggressors.iter().max().unwrap_or(&0)
-                            - self.group_offset;
+                        let max_aggr =
+                            *self.aggressors.iter().max().unwrap_or(&0) - self.group_offset;
                         let next = self.group_offset + 2003;
-                        self.group_offset =
-                            if next + max_aggr + 4 >= self.rows_per_bank { 0 } else { next };
+                        self.group_offset = if next + max_aggr + 4 >= self.rows_per_bank {
+                            0
+                        } else {
+                            next
+                        };
                         let base = self.group_offset;
                         let kind = self.kind;
                         let v = self.victim_row();
@@ -379,7 +380,10 @@ mod tests {
     #[test]
     fn names_are_stable() {
         assert_eq!(AttackKind::HalfDouble.name(), "half-double");
-        assert_eq!(AttackKind::SwapChasing { t: 800 }.name(), "swap-chasing-t800");
+        assert_eq!(
+            AttackKind::SwapChasing { t: 800 }.name(),
+            "swap-chasing-t800"
+        );
         assert_eq!(AttackKind::ManySided(9).name(), "many-sided-9");
         assert_eq!(AttackKind::Blacksmith { n: 4 }.name(), "blacksmith-4");
     }

@@ -199,19 +199,34 @@ pub struct MixSpec {
 pub const MIXES: &[MixSpec] = &[
     MixSpec {
         name: "mix1",
-        members: &["hmmer", "mcf", "libquantum", "povray", "bzip2", "milc", "astar", "dealII"],
+        members: &[
+            "hmmer",
+            "mcf",
+            "libquantum",
+            "povray",
+            "bzip2",
+            "milc",
+            "astar",
+            "dealII",
+        ],
     },
     MixSpec {
         name: "mix2",
-        members: &["gcc", "lbm", "sphinx", "namd", "omnetpp", "soplex", "h264", "bwaves"],
+        members: &[
+            "gcc", "lbm", "sphinx", "namd", "omnetpp", "soplex", "h264", "bwaves",
+        ],
     },
     MixSpec {
         name: "mix3",
-        members: &["mummer", "ferret", "black", "stream", "calculix", "bc", "vips", "sjeng"],
+        members: &[
+            "mummer", "ferret", "black", "stream", "calculix", "bc", "vips", "sjeng",
+        ],
     },
     MixSpec {
         name: "mix4",
-        members: &["comm1", "comm2", "comm3", "comm5", "xz_17", "gcc_17", "gobmk", "freq"],
+        members: &[
+            "comm1", "comm2", "comm3", "comm5", "xz_17", "gcc_17", "gobmk", "freq",
+        ],
     },
     MixSpec {
         name: "mix5",
@@ -219,7 +234,16 @@ pub const MIXES: &[MixSpec] = &[
     },
     MixSpec {
         name: "mix6",
-        members: &["zeusmp", "fluid", "face", "swapt", "blender_17", "omnetpp_17", "gromacs", "dedup"],
+        members: &[
+            "zeusmp",
+            "fluid",
+            "face",
+            "swapt",
+            "blender_17",
+            "omnetpp_17",
+            "gromacs",
+            "dedup",
+        ],
     },
 ];
 

@@ -17,9 +17,7 @@
 //!
 //! Determinism: generators are seeded; the same seed yields the same trace.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
+use rrs_core::rng::DetRng;
 use rrs_dram::geometry::RowAddr;
 use rrs_mem_ctrl::mapping::{AddressMapper, DecodedAddr};
 use rrs_sim::config::SystemConfig;
@@ -63,7 +61,7 @@ impl GenParams {
 #[derive(Debug, Clone)]
 pub struct SyntheticWorkload {
     name: String,
-    rng: StdRng,
+    rng: DetRng,
     /// Mean instruction gap between accesses.
     mean_gap: f64,
     write_fraction: f64,
@@ -113,8 +111,8 @@ impl SyntheticWorkload {
         // than memory/cores alias physically, exactly as an oversubscribed
         // 32 GB machine would (mcf × 8 copies exceeds memory in the paper's
         // setup too).
-        let region_row_base = (core as u64 * (total_rows / params.cores.max(1) as u64))
-            % total_rows;
+        let region_row_base =
+            (core as u64 * (total_rows / params.cores.max(1) as u64)) % total_rows;
 
         // Hot rows: split across cores, assigned to banks in pairs so that
         // round-robin visits always miss the row buffer (see module docs).
@@ -128,15 +126,14 @@ impl SyntheticWorkload {
         let banks = geometry.banks_per_rank;
         let channels = geometry.channels;
         let rows_per_index = (banks * channels * geometry.ranks_per_channel) as u64;
-        let hot_base_row =
-            ((region_row_base + region_rows) / rows_per_index + 2) as usize;
+        let hot_base_row = ((region_row_base + region_rows) / rows_per_index + 2) as usize;
         let mut hot_rows = Vec::with_capacity(per_core_hot);
         for i in 0..per_core_hot {
             let pair = i / 2;
             let bank = (pair % banks) as u8;
             let channel = ((pair / banks) % channels) as u8;
-            let row_in_bank = (hot_base_row + (pair / (banks * channels)) * 2 + (i % 2))
-                % geometry.rows_per_bank;
+            let row_in_bank =
+                (hot_base_row + (pair / (banks * channels)) * 2 + (i % 2)) % geometry.rows_per_bank;
             hot_rows.push(RowAddr::new(channel, 0, bank, row_in_bank as u32));
         }
 
@@ -147,10 +144,8 @@ impl SyntheticWorkload {
         // simulator's measured per-core IPC curve (peak ≈ 1.2 × the
         // nominal IPC at MPKI → 0, roll-off constant ≈ 7 MPKI).
         let effective_ipc = 1.2 * params.assumed_ipc / (1.0 + spec.mpki / 7.0);
-        let accesses_per_epoch =
-            (spec.mpki / 1000.0) * effective_ipc * params.epoch_cycles as f64;
-        let hot_target =
-            per_core_hot as f64 * params.hot_act_threshold as f64 * 1.3;
+        let accesses_per_epoch = (spec.mpki / 1000.0) * effective_ipc * params.epoch_cycles as f64;
+        let hot_target = per_core_hot as f64 * params.hot_act_threshold as f64 * 1.3;
         let hot_fraction = if per_core_hot == 0 || accesses_per_epoch <= 0.0 {
             0.0
         } else {
@@ -192,7 +187,7 @@ impl SyntheticWorkload {
 
         SyntheticWorkload {
             name: format!("{}#{}", spec.name, core),
-            rng: StdRng::seed_from_u64(seed ^ ((core as u64) << 32) ^ 0x574b_4c44),
+            rng: DetRng::seed_from_u64(seed ^ ((core as u64) << 32) ^ 0x574b_4c44),
             mean_gap: (1000.0 / spec.mpki.max(0.001) - 1.0).max(0.0),
             write_fraction: spec.write_fraction,
             hot_rows,
@@ -223,7 +218,9 @@ impl SyntheticWorkload {
 
     fn next_seq_line(&mut self) -> u64 {
         self.seq_lines_left -= 1;
-        let row = self.mapper.nth_row(self.region_row_base + self.seq_row_cursor);
+        let row = self
+            .mapper
+            .nth_row(self.region_row_base + self.seq_row_cursor);
         let col = self.seq_col % self.columns_per_row;
         self.seq_col += 1;
         self.mapper.encode(DecodedAddr { row, column: col })
@@ -233,7 +230,7 @@ impl SyntheticWorkload {
         if self.mean_gap <= 0.0 {
             return 0;
         }
-        let u: f64 = self.rng.random();
+        let u = self.rng.next_f64();
         (-self.mean_gap * (1.0 - u).ln()).min(100_000.0) as u32
     }
 }
@@ -241,7 +238,7 @@ impl SyntheticWorkload {
 impl TraceSource for SyntheticWorkload {
     fn next_record(&mut self) -> TraceRecord {
         let gap = self.sample_gap();
-        let is_write = self.rng.random::<f64>() < self.write_fraction;
+        let is_write = self.rng.next_f64() < self.write_fraction;
 
         // A sequential visit in progress is never interrupted: its lines go
         // out as one consecutive group so the burst-serving simulator keeps
@@ -259,7 +256,7 @@ impl TraceSource for SyntheticWorkload {
             self.hot_cursor += 1;
             self.mapper.encode(DecodedAddr {
                 row,
-                column: self.rng.random_range(0..self.columns_per_row),
+                column: self.rng.next_below(self.columns_per_row as u64) as u32,
             })
         } else {
             // Cold decision point. Per-*record* traffic fractions are
@@ -267,23 +264,22 @@ impl TraceSource for SyntheticWorkload {
             // group length.
             let w_rand = self.cold_random_fraction;
             let w_seq = (1.0 - self.cold_random_fraction) / self.seq_lines_per_visit as f64;
-            let u: f64 = self.rng.random::<f64>() * (w_rand + w_seq);
+            let u = self.rng.next_f64() * (w_rand + w_seq);
             if u < w_rand {
                 // Calibrated random component over the footprint region.
                 let row = self
                     .mapper
-                    .nth_row(self.region_row_base + self.rng.random_range(0..self.region_rows));
+                    .nth_row(self.region_row_base + self.rng.next_below(self.region_rows));
                 self.mapper.encode(DecodedAddr {
                     row,
-                    column: self.rng.random_range(0..self.columns_per_row),
+                    column: self.rng.next_below(self.columns_per_row as u64) as u32,
                 })
             } else {
                 // Start a new sequential visit on the region's next row.
                 // The visit emits `L` records before the next decision, so
                 // credit the hot accumulator for the deferred records —
                 // keeping the hot fraction exact per *record*.
-                self.hot_accumulator +=
-                    self.hot_fraction * (self.seq_lines_per_visit - 1) as f64;
+                self.hot_accumulator += self.hot_fraction * (self.seq_lines_per_visit - 1) as f64;
                 self.seq_row_cursor = (self.seq_row_cursor + 1) % self.region_rows;
                 self.seq_lines_left = self.seq_lines_per_visit;
                 self.seq_col = 0;
@@ -386,7 +382,11 @@ mod tests {
     fn hot_workload_concentrates_traffic() {
         let spec = spec_by_name("hmmer").unwrap();
         let g = SyntheticWorkload::new(&spec, 0, params(), &mapper(), 7);
-        assert!(g.hot_fraction() > 0.1, "hot fraction = {}", g.hot_fraction());
+        assert!(
+            g.hot_fraction() > 0.1,
+            "hot fraction = {}",
+            g.hot_fraction()
+        );
         assert_eq!(g.hot_row_count(), 1675usize.div_ceil(8));
     }
 
@@ -453,7 +453,10 @@ mod tests {
         // double-counted by aliasing): max/min within a small factor.
         let max = per_row.values().max().copied().unwrap_or(0);
         let min = per_row.values().min().copied().unwrap_or(0);
-        assert!(max <= 2 * min + 8, "hot emission skew: min {min}, max {max}");
+        assert!(
+            max <= 2 * min + 8,
+            "hot emission skew: min {min}, max {max}"
+        );
     }
 
     #[test]

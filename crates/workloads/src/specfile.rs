@@ -84,7 +84,8 @@ pub fn parse_specs(text: &str) -> Result<Vec<WorkloadSpec>, SpecFileError> {
             .ok_or_else(|| SpecFileError::Parse(i + 1, line.into()))?;
         let value = value.trim();
         let num = |v: &str| -> Result<f64, SpecFileError> {
-            v.parse().map_err(|_| SpecFileError::BadNumber(i + 1, line.to_string()))
+            v.parse()
+                .map_err(|_| SpecFileError::BadNumber(i + 1, line.to_string()))
         };
         if key == "workload" {
             specs.push(WorkloadSpec {

@@ -17,7 +17,11 @@ fn main() {
     let cfg = ExperimentConfig::default()
         .with_scale(100)
         .with_instructions(200_000);
-    println!("== Attack lab (scale 1/{}: T_RH = {}) ==", cfg.scale, cfg.t_rh());
+    println!(
+        "== Attack lab (scale 1/{}: T_RH = {}) ==",
+        cfg.scale,
+        cfg.t_rh()
+    );
 
     let attacks = [
         AttackKind::SingleSided,

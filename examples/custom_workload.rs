@@ -111,9 +111,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 }
 
 /// Local alias to keep the example self-contained.
-fn rrs_trace_capture(
-    source: &mut dyn TraceSource,
-    n: usize,
-) -> Vec<rrs::sim::TraceRecord> {
+fn rrs_trace_capture(source: &mut dyn TraceSource, n: usize) -> Vec<rrs::sim::TraceRecord> {
     rrs_trace::capture(source, n)
 }

@@ -10,10 +10,9 @@ use rrs::core::detector::DetectorConfig;
 use rrs::core::rrs::{BankRrs, RrsAction, RrsConfig};
 
 fn main() {
-    let mut config = RrsConfig::for_threshold(60, 2_000, 4_096)
-        .with_detector(DetectorConfig {
-            swaps_per_row_alarm: 3,
-        });
+    let mut config = RrsConfig::for_threshold(60, 2_000, 4_096).with_detector(DetectorConfig {
+        swaps_per_row_alarm: 3,
+    });
     // Shrink the RIT so the lazy-drain phase actually has to evict.
     config.rit_tuples = 60;
     println!("== Epoch inspector ==");

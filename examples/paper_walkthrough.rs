@@ -105,7 +105,10 @@ fn figure2_flow() {
         let actions = bank.on_activation(row);
         if let Some(RrsAction::Swap(ps)) = actions.first() {
             println!("  ④ HRT: activation #{i} crossed T_RRS={}", config.t_rrs);
-            println!("  ⑤ PRNG destination chosen; physical {} <-> {}", ps.row_a, ps.row_b);
+            println!(
+                "  ⑤ PRNG destination chosen; physical {} <-> {}",
+                ps.row_a, ps.row_b
+            );
         }
     }
     println!(

@@ -2,6 +2,13 @@
 # Regenerates every table and figure of the paper into results/ — the
 # equivalent of the original artifact's run_artifact.sh.
 #
+# Everything simulation-driven executes through the campaign engine
+# (rrs::campaign): cells run in parallel across the machine's cores and
+# every finished cell is cached under results/ as <cell-id>.json, so an
+# interrupted regeneration resumes where it stopped and figures sharing
+# cells (e.g. the no-defense baselines behind table3/fig6/fig11) run them
+# once. Delete results/*.json (or pass --force to a binary) to re-simulate.
+#
 # Usage: ./regenerate.sh [SCALE] [INSTR]
 #   SCALE  time-scale factor (default 100; must divide 800; 1 = the paper's
 #          full-scale parameters — slower but exact)
@@ -14,12 +21,21 @@ OUT=results
 mkdir -p "$OUT"
 
 echo "building (release)..."
-cargo build --release -p bench
+cargo build --release -p bench -p rrs-cli
+
+# Warm the shared cell cache through the campaign CLI: the full workload
+# population under every defense the figures below need. Reruns of this
+# script (and the individual binaries) then load these cells from disk.
+echo "== warming campaign cache =="
+cargo run -q --release -p rrs-cli -- campaign \
+    --workloads all --defenses none,rrs,bh-512,bh-1k \
+    --scale "$SCALE" --instr "$INSTR" --out "$OUT" --quiet \
+    > "$OUT/campaign_warm.txt"
 
 run() {
     local name="$1"; shift
     echo "== $name =="
-    cargo run -q --release -p bench --bin "$name" -- "$@" | tee "$OUT/$name.txt"
+    cargo run -q --release -p bench --bin "$name" -- --out "$OUT" "$@" | tee "$OUT/$name.txt"
 }
 
 run table1

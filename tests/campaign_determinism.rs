@@ -1,0 +1,151 @@
+//! Campaign-engine guarantees: parallel execution is byte-identical to
+//! serial execution, and reruns resume from the result cache.
+//!
+//! These are the properties that make the figure harnesses trustworthy:
+//! a grid sharded across threads must report exactly what a laptop run
+//! reports, and a crashed campaign must not redo finished cells.
+
+use rrs::campaign::{Campaign, RunOptions};
+use rrs::experiments::{ExperimentConfig, MitigationKind};
+use rrs::sim::SimResult;
+use rrs::workloads::catalog::table3_workloads;
+use rrs::workloads::AttackKind;
+use rrs_json::ToJson;
+
+fn tiny() -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::smoke_test();
+    cfg.instructions_per_core = 20_000;
+    cfg
+}
+
+/// A 3x3 grid (3 workloads x 3 defenses) exercising dedup-free cells.
+fn grid() -> Campaign {
+    let cfg = tiny();
+    let mut campaign = Campaign::new();
+    for w in table3_workloads().into_iter().take(3) {
+        for kind in [
+            MitigationKind::None,
+            MitigationKind::Rrs,
+            MitigationKind::Para,
+        ] {
+            campaign.workload(cfg, w, kind);
+        }
+    }
+    campaign
+}
+
+/// Serializes every result of a run, in cell order.
+fn fingerprint(results: &[&SimResult]) -> String {
+    results
+        .iter()
+        .map(|r| r.to_json().to_string_pretty())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn parallel_equals_serial_byte_for_byte() {
+    let campaign = grid();
+    let serial = campaign.run(&RunOptions::quiet().with_threads(1));
+    let parallel = campaign.run(&RunOptions::quiet().with_threads(4));
+    assert_eq!(serial.len(), 9);
+    assert_eq!(
+        fingerprint(&(0..serial.len()).map(|i| serial.get(i)).collect::<Vec<_>>()),
+        fingerprint(
+            &(0..parallel.len())
+                .map(|i| parallel.get(i))
+                .collect::<Vec<_>>()
+        ),
+        "thread count changed campaign results"
+    );
+}
+
+#[test]
+fn attack_cells_are_schedule_independent_too() {
+    let cfg = tiny();
+    let mut campaign = Campaign::new();
+    for kind in [MitigationKind::None, MitigationKind::Rrs] {
+        campaign.attack(cfg, AttackKind::DoubleSided, kind, 1);
+    }
+    let serial = campaign.run(&RunOptions::quiet().with_threads(1));
+    let parallel = campaign.run(&RunOptions::quiet().with_threads(2));
+    for i in 0..serial.len() {
+        assert_eq!(
+            serial.get(i).to_json().to_string_pretty(),
+            parallel.get(i).to_json().to_string_pretty()
+        );
+    }
+    // The undefended cell must show flips even through serialization.
+    assert!(!serial.get(0).bit_flips.is_empty());
+    assert!(serial.get(1).bit_flips.is_empty());
+}
+
+#[test]
+fn rerun_resumes_from_cache_and_force_overrides() {
+    let dir = std::env::temp_dir().join("rrs_campaign_resume_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    let campaign = grid();
+    let opts = RunOptions::quiet().with_out_dir(&dir).with_threads(2);
+
+    let first = campaign.run(&opts);
+    assert!(first.outcomes().iter().all(|o| !o.from_cache));
+    assert_eq!(
+        std::fs::read_dir(&dir).unwrap().count(),
+        campaign.len(),
+        "every cell must land in the cache"
+    );
+
+    // Rerun: every cell resumes from disk, results identical.
+    let second = campaign.run(&opts);
+    assert!(second.outcomes().iter().all(|o| o.from_cache));
+    for i in 0..first.len() {
+        assert_eq!(
+            first.get(i).to_json().to_string_pretty(),
+            second.get(i).to_json().to_string_pretty(),
+            "cache round-trip changed cell {i}"
+        );
+    }
+
+    // A partially cleared cache re-runs only the missing cells.
+    let victim = dir.join(format!("{}.json", campaign.cells()[0].id()));
+    std::fs::remove_file(&victim).unwrap();
+    let third = campaign.run(&opts);
+    assert!(!third.outcome(0).from_cache);
+    assert_eq!(
+        third.outcomes().iter().filter(|o| o.from_cache).count(),
+        campaign.len() - 1
+    );
+
+    // --force ignores the cache entirely.
+    let forced = campaign.run(&RunOptions {
+        force: true,
+        ..opts.clone()
+    });
+    assert!(forced.outcomes().iter().all(|o| !o.from_cache));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_cache_entries_are_recomputed() {
+    let dir = std::env::temp_dir().join("rrs_campaign_corrupt_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = tiny();
+    let mut campaign = Campaign::new();
+    campaign.workload(cfg, table3_workloads()[0], MitigationKind::None);
+    let opts = RunOptions::quiet().with_out_dir(&dir);
+
+    let first = campaign.run(&opts);
+    let path = dir.join(format!("{}.json", campaign.cells()[0].id()));
+    std::fs::write(&path, "{ not json").unwrap();
+    let second = campaign.run(&opts);
+    assert!(!second.outcome(0).from_cache, "corrupt entry must re-run");
+    assert_eq!(
+        first.get(0).to_json().to_string_pretty(),
+        second.get(0).to_json().to_string_pretty()
+    );
+    // ... and the recomputed result overwrote the corrupt file.
+    let third = campaign.run(&opts);
+    assert!(third.outcome(0).from_cache);
+    let _ = std::fs::remove_dir_all(&dir);
+}

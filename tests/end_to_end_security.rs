@@ -83,7 +83,11 @@ fn graphene_stops_classic_but_loses_to_half_double() {
     let c = cfg();
     for attack in [AttackKind::SingleSided, AttackKind::DoubleSided] {
         let o = c.run_attack(attack, MitigationKind::Graphene, 1);
-        assert!(!o.attack_succeeded(), "{}: Graphene must hold", attack.name());
+        assert!(
+            !o.attack_succeeded(),
+            "{}: Graphene must hold",
+            attack.name()
+        );
         assert!(o.result.stats.targeted_refreshes > 0);
     }
     let hd = c.run_attack(AttackKind::HalfDouble, MitigationKind::Graphene, 2);
@@ -113,7 +117,10 @@ fn rrs_swaps_under_attack_but_not_excessively() {
     // activations, which never feed the tracker).
     let t_rrs = c.t_rh() / rrs::core::DEFAULT_K;
     let bound = outcome.result.stats.activations / t_rrs + 1;
-    assert!(swaps <= bound, "swaps {swaps} exceed ACTs/T_RRS bound {bound}");
+    assert!(
+        swaps <= bound,
+        "swaps {swaps} exceed ACTs/T_RRS bound {bound}"
+    );
 }
 
 #[test]
@@ -126,7 +133,10 @@ fn rrs_survives_the_optimal_swap_chasing_attack() {
         !outcome.attack_succeeded(),
         "swap-chasing must not succeed within a few epochs"
     );
-    assert!(outcome.result.stats.swaps > 0, "the attack does force swaps");
+    assert!(
+        outcome.result.stats.swaps > 0,
+        "the attack does force swaps"
+    );
 }
 
 #[test]
