@@ -22,7 +22,7 @@ fn main() {
         "Workload", "swaps/epoch", "paper-shape"
     );
     println!("{}", "-".repeat(72));
-    let mut per_suite: std::collections::HashMap<&str, Vec<f64>> = Default::default();
+    let mut per_suite: std::collections::BTreeMap<&str, Vec<f64>> = Default::default();
     let mut all = Vec::new();
     let mut csv = vec![vec![
         "workload".to_string(),

@@ -195,7 +195,8 @@ pub fn run_suite(
 /// `(suite label, geomean)` pairs in first-seen order plus the overall one.
 pub fn suite_geomeans(runs: &[NormalizedRun]) -> Vec<(String, f64)> {
     let mut order: Vec<String> = Vec::new();
-    let mut groups: std::collections::HashMap<String, Vec<f64>> = std::collections::HashMap::new();
+    let mut groups: std::collections::BTreeMap<String, Vec<f64>> =
+        std::collections::BTreeMap::new();
     for r in runs {
         let label = r.workload.suite().label().to_string();
         if !groups.contains_key(&label) {

@@ -140,7 +140,9 @@ pub type SlotIndex = (usize, usize, usize);
 /// let mut cat: Cat<u32> = Cat::new(CatConfig::tracker_asplos22());
 /// cat.insert(0x1234, 7)?;
 /// assert_eq!(cat.get(0x1234), Some(&7));
-/// *cat.get_mut(0x1234).unwrap() += 1;
+/// if let Some(v) = cat.get_mut(0x1234) {
+///     *v += 1;
+/// }
 /// assert_eq!(cat.remove(0x1234), Some(8));
 /// # Ok::<(), rrs_core::cat::CatConflict>(())
 /// ```
@@ -210,7 +212,34 @@ impl<V> Cat<V> {
 
     /// Set index of `tag` in table `t`.
     pub fn set_of(&self, table: usize, tag: u64) -> usize {
-        (self.hashers[table].encrypt(tag) as usize) & (self.config.sets - 1)
+        (self.hasher(table).encrypt(tag) as usize) & (self.config.sets - 1)
+    }
+
+    /// The hasher of table `t` (any `t > 1` aliases table 1; callers only
+    /// ever pass 0 or 1).
+    fn hasher(&self, table: usize) -> &Prince {
+        if table == 0 {
+            &self.hashers[0]
+        } else {
+            &self.hashers[1]
+        }
+    }
+
+    /// The slot storage of table `t`.
+    fn table(&self, table: usize) -> &[Option<Slot<V>>] {
+        if table == 0 {
+            &self.tables[0]
+        } else {
+            &self.tables[1]
+        }
+    }
+
+    fn table_mut(&mut self, table: usize) -> &mut Vec<Option<Slot<V>>> {
+        if table == 0 {
+            &mut self.tables[0]
+        } else {
+            &mut self.tables[1]
+        }
     }
 
     fn slot_range(&self, set: usize) -> std::ops::Range<usize> {
@@ -218,15 +247,23 @@ impl<V> Cat<V> {
         set * w..(set + 1) * w
     }
 
+    /// The `D + E` slots of one set (empty slice for an out-of-range set,
+    /// which no in-range hash ever produces).
+    fn set_slots(&self, table: usize, set: usize) -> &[Option<Slot<V>>] {
+        self.table(table).get(self.slot_range(set)).unwrap_or(&[])
+    }
+
+    fn set_slots_mut(&mut self, table: usize, set: usize) -> &mut [Option<Slot<V>>] {
+        let range = self.slot_range(set);
+        self.table_mut(table).get_mut(range).unwrap_or(&mut [])
+    }
+
     fn find(&self, tag: u64) -> Option<SlotIndex> {
         for t in 0..2 {
             let set = self.set_of(t, tag);
-            for way in 0..self.config.ways() {
-                let idx = set * self.config.ways() + way;
-                if let Some(s) = &self.tables[t][idx] {
-                    if s.tag == tag {
-                        return Some((t, set, way));
-                    }
+            for (way, slot) in self.set_slots(t, set).iter().enumerate() {
+                if slot.as_ref().is_some_and(|s| s.tag == tag) {
+                    return Some((t, set, way));
                 }
             }
         }
@@ -247,22 +284,23 @@ impl<V> Cat<V> {
 
     /// Shared reference to the value stored for `tag`.
     pub fn get(&self, tag: u64) -> Option<&V> {
-        self.find(tag).map(|(t, set, way)| {
-            let idx = set * self.config.ways() + way;
-            &self.tables[t][idx].as_ref().unwrap().value
-        })
+        let (t, set, way) = self.find(tag)?;
+        self.set_slots(t, set).get(way)?.as_ref().map(|s| &s.value)
     }
 
     /// Exclusive reference to the value stored for `tag`.
     pub fn get_mut(&mut self, tag: u64) -> Option<&mut V> {
         let (t, set, way) = self.find(tag)?;
-        let idx = set * self.config.ways() + way;
-        Some(&mut self.tables[t][idx].as_mut().unwrap().value)
+        self.set_slots_mut(t, set)
+            .get_mut(way)?
+            .as_mut()
+            .map(|s| &mut s.value)
     }
 
     fn invalid_ways_in(&self, table: usize, set: usize) -> usize {
-        self.slot_range(set)
-            .filter(|&i| self.tables[table][i].is_none())
+        self.set_slots(table, set)
+            .iter()
+            .filter(|s| s.is_none())
             .count()
     }
 
@@ -292,50 +330,57 @@ impl<V> Cat<V> {
             // alternate set in the other table.
             if let Some((t, set)) = self.try_relocate(s0, s1) {
                 self.relocations += 1;
-                return Ok(self.place(t, set, tag, value));
+                return self.place(t, set, tag, value).ok_or(CatConflict { tag });
             }
             return Err(CatConflict { tag });
         }
-        Ok(self.place(table, set, tag, value))
+        self.place(table, set, tag, value)
+            .ok_or(CatConflict { tag })
     }
 
     fn try_relocate(&mut self, s0: usize, s1: usize) -> Option<(usize, usize)> {
         for (t, set) in [(0, s0), (1, s1)] {
             let other = 1 - t;
-            for i in self.slot_range(set) {
-                let resident_tag = match &self.tables[t][i] {
-                    Some(s) => s.tag,
-                    None => continue,
+            for way in 0..self.config.ways() {
+                let resident_tag = match self.set_slots(t, set).get(way) {
+                    Some(Some(s)) => s.tag,
+                    _ => continue,
                 };
                 let alt_set = self.set_of(other, resident_tag);
                 if self.invalid_ways_in(other, alt_set) > 0 {
-                    let slot = self.tables[t][i].take().unwrap();
-                    self.len -= 1;
-                    self.place(other, alt_set, slot.tag, slot.value);
-                    return Some((t, set));
+                    let taken = self
+                        .set_slots_mut(t, set)
+                        .get_mut(way)
+                        .and_then(|s| s.take());
+                    if let Some(slot) = taken {
+                        self.len -= 1;
+                        // The alternate set was just checked to have room,
+                        // so this place() cannot fail.
+                        self.place(other, alt_set, slot.tag, slot.value)?;
+                        return Some((t, set));
+                    }
                 }
             }
         }
         None
     }
 
-    fn place(&mut self, table: usize, set: usize, tag: u64, value: V) -> SlotIndex {
-        for way in 0..self.config.ways() {
-            let idx = set * self.config.ways() + way;
-            if self.tables[table][idx].is_none() {
-                self.tables[table][idx] = Some(Slot { tag, value });
-                self.len += 1;
-                return (table, set, way);
-            }
-        }
-        unreachable!("place() called on a full set");
+    /// Writes `tag -> value` into the first free way of `(table, set)`, or
+    /// returns `None` (without storing) if the set is physically full —
+    /// callers check occupancy first, so `None` means a caller bug and
+    /// surfaces as a [`CatConflict`] rather than a panic.
+    fn place(&mut self, table: usize, set: usize, tag: u64, value: V) -> Option<SlotIndex> {
+        let slots = self.set_slots_mut(table, set);
+        let way = slots.iter().position(|s| s.is_none())?;
+        *slots.get_mut(way)? = Some(Slot { tag, value });
+        self.len += 1;
+        Some((table, set, way))
     }
 
     /// Removes `tag`, returning its value.
     pub fn remove(&mut self, tag: u64) -> Option<V> {
         let (t, set, way) = self.find(tag)?;
-        let idx = set * self.config.ways() + way;
-        let slot = self.tables[t][idx].take().unwrap();
+        let slot = self.set_slots_mut(t, set).get_mut(way)?.take()?;
         self.len -= 1;
         Some(slot.value)
     }
@@ -360,8 +405,32 @@ impl<V> Cat<V> {
 
     /// Iterates over the entries of one set of one table.
     pub fn set_iter(&self, table: usize, set: usize) -> impl Iterator<Item = (u64, &V)> + '_ {
-        self.slot_range(set)
-            .filter_map(move |i| self.tables[table][i].as_ref().map(|s| (s.tag, &s.value)))
+        self.set_slots(table, set)
+            .iter()
+            .filter_map(|s| s.as_ref().map(|s| (s.tag, &s.value)))
+    }
+
+    /// Test-only corruption: inflates the cached length without touching
+    /// any slot, so the occupancy audit must flag the mismatch.
+    #[doc(hidden)]
+    pub fn corrupt_len_for_test(&mut self) {
+        self.len = self.len.wrapping_add(1);
+    }
+
+    /// Test-only corruption: rewrites the tag of the first occupied slot in
+    /// place (bypassing the keyed hashes), so the entry becomes unfindable.
+    /// Returns `false` if the CAT is empty.
+    #[doc(hidden)]
+    pub fn corrupt_first_tag_for_test(&mut self, new_tag: u64) -> bool {
+        for t in &mut self.tables {
+            for s in t.iter_mut() {
+                if let Some(slot) = s.as_mut() {
+                    slot.tag = new_tag;
+                    return true;
+                }
+            }
+        }
+        false
     }
 
     /// Picks the `n`-th valid entry in slot order, wrapping around; `None`
@@ -389,14 +458,15 @@ mod tests {
     }
 
     #[test]
-    fn insert_get_remove_round_trip() {
+    fn insert_get_remove_round_trip() -> Result<(), CatConflict> {
         let mut cat = small();
-        assert!(cat.insert(100, 7).is_ok());
+        cat.insert(100, 7)?;
         assert_eq!(cat.get(100), Some(&7));
-        *cat.get_mut(100).unwrap() = 9;
+        *cat.get_mut(100).expect("tag 100 was just inserted") = 9;
         assert_eq!(cat.remove(100), Some(9));
         assert!(cat.get(100).is_none());
         assert!(cat.is_empty());
+        Ok(())
     }
 
     #[test]
@@ -413,7 +483,7 @@ mod tests {
     }
 
     #[test]
-    fn conflict_is_reported_when_truly_full() {
+    fn conflict_is_reported_when_truly_full() -> Result<(), CatConflict> {
         let mut cat: Cat<u32> = Cat::new(CatConfig {
             sets: 1,
             demand_ways: 1,
@@ -421,11 +491,12 @@ mod tests {
             hash_seed: 1,
         });
         // Only 2 physical slots exist (1 set × 1 way × 2 tables).
-        cat.insert(1, 0).unwrap();
-        cat.insert(2, 0).unwrap();
-        let err = cat.insert(3, 0).unwrap_err();
+        cat.insert(1, 0)?;
+        cat.insert(2, 0)?;
+        let err = cat.insert(3, 0).expect_err("third install must conflict");
         assert_eq!(err.tag, 3);
         assert!(err.to_string().contains("conflict"));
+        Ok(())
     }
 
     #[test]
@@ -436,25 +507,27 @@ mod tests {
     }
 
     #[test]
-    fn iter_sees_all_entries() {
+    fn iter_sees_all_entries() -> Result<(), CatConflict> {
         let mut cat = small();
         for tag in 0..10u64 {
-            cat.insert(tag, tag as u32 * 2).unwrap();
+            cat.insert(tag, tag as u32 * 2)?;
         }
         let mut items: Vec<_> = cat.iter().map(|(t, &v)| (t, v)).collect();
         items.sort();
         assert_eq!(items.len(), 10);
         assert_eq!(items[3], (3, 6));
+        Ok(())
     }
 
     #[test]
-    fn nth_entry_wraps() {
+    fn nth_entry_wraps() -> Result<(), CatConflict> {
         let mut cat = small();
-        cat.insert(5, 50).unwrap();
-        assert_eq!(cat.nth_entry(0).unwrap().0, 5);
-        assert_eq!(cat.nth_entry(7).unwrap().0, 5);
+        cat.insert(5, 50)?;
+        assert_eq!(cat.nth_entry(0).map(|(t, _)| t), Some(5));
+        assert_eq!(cat.nth_entry(7).map(|(t, _)| t), Some(5));
         let empty = small();
         assert!(empty.nth_entry(0).is_none());
+        Ok(())
     }
 
     #[test]
@@ -469,14 +542,15 @@ mod tests {
     }
 
     #[test]
-    fn clear_empties_everything() {
+    fn clear_empties_everything() -> Result<(), CatConflict> {
         let mut cat = small();
         for tag in 0..6u64 {
-            cat.insert(tag, 0).unwrap();
+            cat.insert(tag, 0)?;
         }
         cat.clear();
         assert!(cat.is_empty());
         assert!(!cat.contains(3));
+        Ok(())
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! small per-row alarm threshold catches the §5.3 swap-chasing attack with
 //! no false positives in practice.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Detector parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,7 +35,7 @@ impl Default for DetectorConfig {
 #[derive(Debug, Clone, Default)]
 pub struct SwapDetector {
     config: DetectorConfig,
-    swaps_this_epoch: HashMap<u64, u32>,
+    swaps_this_epoch: BTreeMap<u64, u32>,
     alarms: u64,
 }
 
@@ -44,7 +44,7 @@ impl SwapDetector {
     pub fn new(config: DetectorConfig) -> Self {
         SwapDetector {
             config,
-            swaps_this_epoch: HashMap::new(),
+            swaps_this_epoch: BTreeMap::new(),
             alarms: 0,
         }
     }

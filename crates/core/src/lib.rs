@@ -19,7 +19,9 @@
 //! * [`swap`] — the swap-buffer engine and its latency model (§4.4);
 //! * [`rrs`] — the assembled engine: [`Rrs`] (system-wide) and [`BankRrs`]
 //!   (per bank);
-//! * [`detector`] — the optional attack-detection co-design (§5.3.2 fn. 2).
+//! * [`detector`] — the optional attack-detection co-design (§5.3.2 fn. 2);
+//! * [`audit`] — debug-gated ghost-state audits of the RIT permutation,
+//!   CAT occupancy, and swap-accounting invariants.
 //!
 //! # Quick start
 //!
@@ -45,6 +47,7 @@
 //! assert_ne!(rrs.resolve(aggressor), aggressor);
 //! ```
 
+pub mod audit;
 pub mod cat;
 pub mod detector;
 pub mod prince;
@@ -55,6 +58,7 @@ pub mod rrs;
 pub mod swap;
 pub mod tracker;
 
+pub use audit::{AuditError, CatAudit, RitAudit, SwapAudit};
 pub use cat::{Cat, CatConfig, CatConflict};
 pub use detector::{DetectorConfig, SwapDetector};
 pub use prince::Prince;

@@ -151,11 +151,9 @@ const M_PRIME_BYTES: [[u64; 256]; 8] = build_m_prime_bytes();
 #[inline]
 fn m_prime(state: u64) -> u64 {
     let mut out = 0u64;
-    let mut b = 0;
-    while b < 8 {
-        let v = ((state >> (56 - 8 * b)) & 0xFF) as usize;
-        out ^= M_PRIME_BYTES[b][v];
-        b += 1;
+    for (table, byte) in M_PRIME_BYTES.iter().zip(state.to_be_bytes()) {
+        // lint: allow(index-panic) — a u8 index into a 256-entry table is always in bounds
+        out ^= table[byte as usize];
     }
     out
 }
@@ -176,14 +174,10 @@ const SBOX_INV_BYTES: [u8; 256] = build_sbox_bytes(&SBOX_INV);
 
 #[inline]
 fn apply_sbox_bytes(state: u64, table: &[u8; 256]) -> u64 {
-    let mut out = 0u64;
-    let bytes = state.to_be_bytes();
-    let mut i = 0;
-    while i < 8 {
-        out = (out << 8) | table[bytes[i] as usize] as u64;
-        i += 1;
-    }
-    out
+    state.to_be_bytes().into_iter().fold(0u64, |out, b| {
+        // lint: allow(index-panic) — a u8 index into a 256-entry table is always in bounds
+        (out << 8) | u64::from(table[b as usize])
+    })
 }
 
 #[inline]
@@ -199,6 +193,7 @@ fn apply_sbox(state: u64, sbox: &[u8; 16]) -> u64 {
     let mut out = 0u64;
     for i in 0..16 {
         let nib = ((state >> (60 - 4 * i)) & 0xF) as usize;
+        // lint: allow(index-panic) — nibble-masked index into a 16-entry box
         out |= (sbox[nib] as u64) << (60 - 4 * i);
     }
     out
@@ -244,7 +239,7 @@ impl Prince {
     pub fn encrypt(&self, plaintext: u64) -> u64 {
         let mut s = plaintext ^ self.k0;
         s ^= self.k1 ^ RC[0];
-        for rc in &RC[1..=5] {
+        for rc in RC.iter().take(6).skip(1) {
             s = apply_sbox(s, &SBOX);
             s = m_prime(s);
             s = permute_nibbles(s, &SR);
@@ -253,7 +248,7 @@ impl Prince {
         s = apply_sbox(s, &SBOX);
         s = m_prime(s);
         s = apply_sbox(s, &SBOX_INV);
-        for rc in &RC[6..=10] {
+        for rc in RC.iter().take(11).skip(6) {
             s ^= rc ^ self.k1;
             s = permute_nibbles(s, &SR_INV);
             s = m_prime(s);

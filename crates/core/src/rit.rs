@@ -62,9 +62,9 @@ impl fmt::Display for RitError {
 impl std::error::Error for RitError {}
 
 #[derive(Debug, Clone, Copy)]
-struct ForwardEntry {
-    physical: u64,
-    locked: bool,
+pub(crate) struct ForwardEntry {
+    pub(crate) physical: u64,
+    pub(crate) locked: bool,
 }
 
 /// The Row Indirection Table of one bank.
@@ -85,6 +85,8 @@ pub struct RowIndirectionTable {
     forward: Cat<ForwardEntry>,
     reverse: Cat<u64>,
     tuple_capacity: usize,
+    /// Mutation counter driving the sampled debug-build ghost audit.
+    audit_tick: u64,
 }
 
 impl RowIndirectionTable {
@@ -98,7 +100,46 @@ impl RowIndirectionTable {
             forward: Cat::new(fwd_cfg),
             reverse: Cat::new(rev_cfg),
             tuple_capacity,
+            audit_tick: 0,
         }
+    }
+
+    /// The forward (logical → physical) CAT, for the ghost-state audit.
+    pub(crate) fn forward_cat(&self) -> &Cat<ForwardEntry> {
+        &self.forward
+    }
+
+    /// The reverse (physical → logical) CAT, for the ghost-state audit.
+    pub(crate) fn reverse_cat(&self) -> &Cat<u64> {
+        &self.reverse
+    }
+
+    /// Sampled debug-build ghost audit: every mutation ticks the counter,
+    /// and the full permutation check runs on the first and every 64th
+    /// mutation so property tests keep their cost near-linear.
+    fn maybe_audit(&mut self) {
+        self.audit_tick = self.audit_tick.wrapping_add(1);
+        #[cfg(debug_assertions)]
+        {
+            if self.audit_tick == 1 || self.audit_tick.is_multiple_of(64) {
+                if let Err(e) = crate::audit::RitAudit::verify(self) {
+                    panic!("RIT ghost-state audit failed: {e}");
+                }
+            }
+        }
+    }
+
+    /// Test-only corruption: installs a forward entry with no reverse
+    /// partner, breaking the permutation property the audit guards.
+    #[doc(hidden)]
+    pub fn corrupt_forward_for_test(&mut self, logical: u64, physical: u64) {
+        let _ = self.forward.insert(
+            logical,
+            ForwardEntry {
+                physical,
+                locked: false,
+            },
+        );
     }
 
     /// Maximum number of simultaneously displaced rows.
@@ -198,6 +239,7 @@ impl RowIndirectionTable {
         self.clear_mapping(y);
         self.put_mapping(x, py, true)?;
         self.put_mapping(y, px, true)?;
+        self.maybe_audit();
         Ok(PhysicalSwap {
             row_a: px,
             row_b: py,
@@ -234,7 +276,11 @@ impl RowIndirectionTable {
                 z == *logical || self.forward.get(z).map(|ze| !ze.locked).unwrap_or(true)
             })
             .map(|(logical, _)| logical)?;
-        Some(self.unswap(victim).expect("candidate must be unswappable"))
+        // The victim was validated as non-degenerate and unlocked just
+        // above, so this unswap cannot fail; if the impossible happens we
+        // report "nothing evictable" instead of unwinding mid-simulation
+        // (the RitAudit ghost checker would flag the inconsistency).
+        self.unswap(victim).ok()
     }
 
     /// Un-swaps `logical` back to its home location. The row currently at
@@ -254,6 +300,7 @@ impl RowIndirectionTable {
             self.clear_mapping(z);
             self.put_mapping(z, p, z_locked)?;
         }
+        self.maybe_audit();
         Ok(PhysicalSwap {
             row_a: p,
             row_b: logical,
@@ -267,6 +314,13 @@ impl RowIndirectionTable {
         for t in tags {
             if let Some(e) = self.forward.get_mut(t) {
                 e.locked = false;
+            }
+        }
+        // Epoch boundaries are rare: run the full ghost audit every time.
+        #[cfg(debug_assertions)]
+        {
+            if let Err(e) = crate::audit::RitAudit::verify(self) {
+                panic!("RIT ghost-state audit failed at epoch end: {e}");
             }
         }
     }
@@ -289,7 +343,7 @@ impl RowIndirectionTable {
     /// identity mapping is stored, or if the permutation is not injective.
     pub fn check_invariants(&self) {
         assert_eq!(self.forward.len(), self.reverse.len(), "map sizes differ");
-        let mut seen_phys = std::collections::HashSet::new();
+        let mut seen_phys = std::collections::BTreeSet::new();
         for (logical, e) in self.forward.iter() {
             assert_ne!(logical, e.physical, "identity mapping stored");
             assert!(
@@ -323,9 +377,9 @@ mod tests {
     }
 
     #[test]
-    fn swap_creates_symmetric_mapping() {
+    fn swap_creates_symmetric_mapping() -> Result<(), RitError> {
         let mut r = rit(16);
-        let ps = r.swap(10, 20).unwrap();
+        let ps = r.swap(10, 20)?;
         assert_eq!((ps.row_a, ps.row_b), (10, 20));
         assert_eq!(r.resolve(10), 20);
         assert_eq!(r.resolve(20), 10);
@@ -333,31 +387,34 @@ mod tests {
         assert_eq!(r.occupant(20), 10);
         assert_eq!(r.tuples_in_use(), 2);
         r.check_invariants();
+        Ok(())
     }
 
     #[test]
-    fn reswap_builds_a_cycle_correctly() {
+    fn reswap_builds_a_cycle_correctly() -> Result<(), RitError> {
         // x swapped with y, then x re-swapped with fresh a: x must end up at
         // a's home, a at x's previous location (y's home), y unchanged.
         let mut r = rit(16);
-        r.swap(1, 2).unwrap();
-        let ps = r.swap(1, 3).unwrap();
+        r.swap(1, 2)?;
+        let ps = r.swap(1, 3)?;
         // Physical exchange is between x's current location (2) and 3.
         assert_eq!((ps.row_a, ps.row_b), (2, 3));
         assert_eq!(r.resolve(1), 3);
         assert_eq!(r.resolve(3), 2);
         assert_eq!(r.resolve(2), 1);
         r.check_invariants();
+        Ok(())
     }
 
     #[test]
-    fn swap_back_removes_identity_mappings() {
+    fn swap_back_removes_identity_mappings() -> Result<(), RitError> {
         let mut r = rit(16);
-        r.swap(1, 2).unwrap();
-        r.swap(1, 2).unwrap(); // swap back
+        r.swap(1, 2)?;
+        r.swap(1, 2)?; // swap back
         assert_eq!(r.tuples_in_use(), 0);
         assert_eq!(r.resolve(1), 1);
         r.check_invariants();
+        Ok(())
     }
 
     #[test]
@@ -367,29 +424,31 @@ mod tests {
     }
 
     #[test]
-    fn capacity_is_enforced() {
+    fn capacity_is_enforced() -> Result<(), RitError> {
         let mut r = rit(4);
-        r.swap(1, 2).unwrap();
-        r.swap(3, 4).unwrap();
+        r.swap(1, 2)?;
+        r.swap(3, 4)?;
         assert!(r.is_full());
         assert_eq!(r.swap(5, 6), Err(RitError::CapacityExhausted));
+        Ok(())
     }
 
     #[test]
-    fn locked_entries_survive_eviction_requests() {
+    fn locked_entries_survive_eviction_requests() -> Result<(), RitError> {
         let mut r = rit(4);
-        r.swap(1, 2).unwrap();
-        r.swap(3, 4).unwrap();
+        r.swap(1, 2)?;
+        r.swap(3, 4)?;
         // All entries are locked (installed this epoch): nothing to evict.
         assert_eq!(r.evict_one(0), None);
         assert_eq!(r.locked_count(), 4);
+        Ok(())
     }
 
     #[test]
-    fn epoch_end_unlocks_and_allows_lazy_drain() {
+    fn epoch_end_unlocks_and_allows_lazy_drain() -> Result<(), RitError> {
         let mut r = rit(4);
-        r.swap(1, 2).unwrap();
-        r.swap(3, 4).unwrap();
+        r.swap(1, 2)?;
+        r.swap(3, 4)?;
         r.end_epoch();
         assert_eq!(r.locked_count(), 0);
         let ps = r.evict_one(0).expect("unlocked entry must be evictable");
@@ -398,46 +457,50 @@ mod tests {
         assert!(ps.row_a != ps.row_b);
         r.check_invariants();
         // Now there is room for a new swap.
-        r.swap(5, 6).unwrap();
+        r.swap(5, 6)?;
         r.check_invariants();
+        Ok(())
     }
 
     #[test]
-    fn unswap_of_cycle_member_keeps_permutation_consistent() {
+    fn unswap_of_cycle_member_keeps_permutation_consistent() -> Result<(), RitError> {
         let mut r = rit(16);
-        r.swap(1, 2).unwrap(); // 1@2, 2@1
-        r.swap(1, 3).unwrap(); // 1@3, 3@2, 2@1
+        r.swap(1, 2)?; // 1@2, 2@1
+        r.swap(1, 3)?; // 1@3, 3@2, 2@1
         r.end_epoch();
-        r.unswap(1).unwrap(); // 1 home; occupant of 1 (=2) moves to 3's old spot
+        r.unswap(1)?; // 1 home; occupant of 1 (=2) moves to 3's old spot
         assert_eq!(r.resolve(1), 1);
         r.check_invariants();
         // All rows resolvable, permutation still injective.
         let mapped: Vec<_> = r.iter().collect();
         assert_eq!(mapped.len(), 2);
+        Ok(())
     }
 
     #[test]
-    fn involves_covers_both_directions() {
+    fn involves_covers_both_directions() -> Result<(), RitError> {
         let mut r = rit(16);
-        r.swap(1, 2).unwrap();
-        r.swap(1, 3).unwrap(); // 1@3, 3@2, 2@1
+        r.swap(1, 2)?;
+        r.swap(1, 3)?; // 1@3, 3@2, 2@1
         for row in [1, 2, 3] {
             assert!(r.involves(row), "row {row}");
         }
         assert!(!r.involves(4));
+        Ok(())
     }
 
     #[test]
-    fn eviction_uses_pick_for_victim_choice() {
+    fn eviction_uses_pick_for_victim_choice() -> Result<(), RitError> {
         let mut r = rit(8);
-        r.swap(1, 2).unwrap();
-        r.swap(3, 4).unwrap();
+        r.swap(1, 2)?;
+        r.swap(3, 4)?;
         r.end_epoch();
         let mut c1 = r.clone();
-        let a = c1.evict_one(0).unwrap();
+        let a = c1.evict_one(0).expect("entry 0 evictable after epoch end");
         let mut c2 = r.clone();
-        let b = c2.evict_one(1).unwrap();
+        let b = c2.evict_one(1).expect("entry 1 evictable after epoch end");
         assert_ne!(a, b, "different picks should evict different tuples");
+        Ok(())
     }
 
     #[test]

@@ -336,16 +336,19 @@ impl Rrs {
     }
 
     fn unit(&self, addr: RowAddr) -> &BankRrs {
+        // lint: allow(index-panic) — `bank_index` is `< geometry.total_banks()` by construction and `banks` has exactly that length
         &self.banks[addr.bank_index(&self.geometry)]
     }
 
     fn unit_mut(&mut self, addr: RowAddr) -> &mut BankRrs {
+        // lint: allow(index-panic) — `bank_index` is `< geometry.total_banks()` by construction and `banks` has exactly that length
         &mut self.banks[addr.bank_index(&self.geometry)]
     }
 
     /// Resolves a logical row address to the physical row currently holding
     /// it (identity unless swapped).
     pub fn resolve(&self, addr: RowAddr) -> RowAddr {
+        // lint: allow(narrow-cast) — the RIT only maps rows previously fed in from this bank's u32 row space, so the resolved row fits
         addr.with_row(self.unit(addr).resolve(addr.row.0 as u64) as u32)
     }
 

@@ -84,13 +84,35 @@ impl SwapEngine {
     pub fn record_swap(&mut self, now: Cycle) -> Cycle {
         self.stats.swaps += 1;
         self.stats.epoch_swaps += 1;
-        self.block(now)
+        let free = self.block(now);
+        self.debug_audit();
+        free
     }
 
     /// Records one un-swap (RIT eviction) starting no earlier than `now`.
     pub fn record_unswap(&mut self, now: Cycle) -> Cycle {
         self.stats.unswaps += 1;
-        self.block(now)
+        let free = self.block(now);
+        self.debug_audit();
+        free
+    }
+
+    /// Debug-build ghost audit of the accounting identity
+    /// `busy_cycles = (swaps + unswaps) × swap_cost`; free in release.
+    fn debug_audit(&self) {
+        #[cfg(debug_assertions)]
+        {
+            if let Err(e) = crate::audit::SwapAudit::verify(self) {
+                panic!("swap-engine ghost-state audit failed: {e}");
+            }
+        }
+    }
+
+    /// Test-only corruption: skews the busy-cycle ledger so the accounting
+    /// identity the audit checks no longer holds.
+    #[doc(hidden)]
+    pub fn corrupt_busy_cycles_for_test(&mut self) {
+        self.stats.busy_cycles += 1;
     }
 
     fn block(&mut self, now: Cycle) -> Cycle {

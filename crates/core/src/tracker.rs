@@ -21,7 +21,7 @@
 //! (modulo which minimum-count entry is replaced on ties), which the tests
 //! exploit for differential testing.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::cat::{Cat, CatConfig};
 
@@ -88,7 +88,7 @@ impl TrackerConfig {
 #[derive(Debug, Clone)]
 pub struct CamTracker {
     config: TrackerConfig,
-    counts: HashMap<u64, u64>,
+    counts: BTreeMap<u64, u64>,
     spill: u64,
 }
 
@@ -97,7 +97,7 @@ impl CamTracker {
     pub fn new(config: TrackerConfig) -> Self {
         CamTracker {
             config,
-            counts: HashMap::with_capacity(config.entries),
+            counts: BTreeMap::new(),
             spill: 0,
         }
     }
@@ -133,7 +133,14 @@ impl HotRowTracker for CamTracker {
                 estimated_count: c,
             };
         }
-        let (min_row, min_count) = self.min_entry().expect("tracker at capacity is non-empty");
+        let Some((min_row, min_count)) = self.min_entry() else {
+            // Degenerate `entries == 0` shape: everything spills.
+            self.spill += 1;
+            return AccessVerdict {
+                swap_due: false,
+                estimated_count: self.spill,
+            };
+        };
         if self.spill < min_count {
             self.spill += 1;
             AccessVerdict {
@@ -247,7 +254,9 @@ impl CatTracker {
             .map(|(_, &c)| c)
             .min()
             .unwrap_or(u64::MAX);
-        self.set_min[table][set] = m;
+        if let Some(slot) = self.set_min.get_mut(table).and_then(|v| v.get_mut(set)) {
+            *slot = m;
+        }
     }
 
     /// Global minimum counter: a scan of the SetMin array (2 × sets values,
@@ -278,32 +287,34 @@ impl CatTracker {
     }
 
     fn try_evict_min(&mut self, min: u64) -> bool {
-        for t in 0..2 {
-            for s in 0..self.set_min[t].len() {
-                if self.set_min[t][s] == min {
-                    let victim = self
-                        .cat
-                        .set_iter(t, s)
-                        .find(|(_, &c)| c == min)
-                        .map(|(tag, _)| tag);
-                    if let Some(tag) = victim {
-                        // The entry may physically live in the *other*
-                        // table's candidate set; remove by tag and repair
-                        // both touched sets.
-                        let loc = self.cat.locate(tag).expect("victim present");
-                        self.cat.remove(tag);
-                        self.recompute_set_min(loc.0, loc.1);
-                        return true;
-                    }
-                }
-            }
-        }
-        false
+        // Find a minimum-count victim first (immutably), then mutate: the
+        // entry may physically live in the *other* table's candidate set,
+        // so remove by tag and repair the set it actually occupied.
+        let victim = self
+            .set_min
+            .iter()
+            .enumerate()
+            .flat_map(|(t, mins)| mins.iter().enumerate().map(move |(s, &m)| (t, s, m)))
+            .filter(|&(_, _, m)| m == min)
+            .find_map(|(t, s, _)| {
+                self.cat
+                    .set_iter(t, s)
+                    .find(|(_, &c)| c == min)
+                    .map(|(tag, _)| tag)
+            });
+        let Some(tag) = victim else { return false };
+        let Some(loc) = self.cat.locate(tag) else {
+            return false;
+        };
+        self.cat.remove(tag);
+        self.recompute_set_min(loc.0, loc.1);
+        true
     }
 
     fn rebuild_set_min(&mut self) {
+        let sets = self.cat.config().sets;
         for t in 0..2 {
-            for s in 0..self.set_min[t].len() {
+            for s in 0..sets {
                 self.recompute_set_min(t, s);
             }
         }
@@ -316,8 +327,8 @@ impl CatTracker {
     fn install(&mut self, row: u64, count: u64) -> bool {
         match self.cat.insert(row, count) {
             Ok((table, set, _)) => {
-                if count < self.set_min[table][set] {
-                    self.set_min[table][set] = count;
+                if let Some(slot) = self.set_min.get_mut(table).and_then(|v| v.get_mut(set)) {
+                    *slot = (*slot).min(count);
                 }
                 true
             }
@@ -328,26 +339,12 @@ impl CatTracker {
             }
         }
     }
-}
 
-impl HotRowTracker for CatTracker {
-    fn record_access(&mut self, row: u64) -> AccessVerdict {
+    /// Misra-Gries handling of an activation of an untracked row: install
+    /// while below budget, otherwise bump the spill counter or replace a
+    /// minimum-count entry (Figure 3).
+    fn record_miss(&mut self, row: u64) -> AccessVerdict {
         let t = self.config.threshold;
-        if let Some((table, set, _)) = self.cat.locate(row) {
-            let c = {
-                let c = self.cat.get_mut(row).expect("located entry exists");
-                *c += 1;
-                *c
-            };
-            // The increment can only raise the set minimum.
-            if c - 1 == self.set_min[table][set] {
-                self.recompute_set_min(table, set);
-            }
-            return AccessVerdict {
-                swap_due: c % t == 0,
-                estimated_count: c,
-            };
-        }
         if self.cat.len() < self.config.entries {
             let c = self.spill + 1;
             self.install(row, c);
@@ -372,6 +369,32 @@ impl HotRowTracker for CatTracker {
                 estimated_count: c,
             }
         }
+    }
+}
+
+impl HotRowTracker for CatTracker {
+    fn record_access(&mut self, row: u64) -> AccessVerdict {
+        let t = self.config.threshold;
+        if let Some((table, set, _)) = self.cat.locate(row) {
+            let Some(c) = self.cat.get_mut(row).map(|c| {
+                *c += 1;
+                *c
+            }) else {
+                // `locate` found the tag, so `get_mut` resolves it too; fall
+                // back to a fresh-install path if the tables ever disagree.
+                return self.record_miss(row);
+            };
+            // The increment can only raise the set minimum.
+            let prev_min = self.set_min.get(table).and_then(|v| v.get(set)).copied();
+            if prev_min == Some(c - 1) {
+                self.recompute_set_min(table, set);
+            }
+            return AccessVerdict {
+                swap_due: c % t == 0,
+                estimated_count: c,
+            };
+        }
+        self.record_miss(row)
     }
 
     fn contains(&self, row: u64) -> bool {
@@ -417,7 +440,7 @@ pub struct CbfTracker {
     hashers: Vec<crate::prince::Prince>,
     /// Rows whose minimum bucket count reached the threshold (for
     /// `contains` / destination exclusion and `len`).
-    hot: std::collections::HashSet<u64>,
+    hot: std::collections::BTreeSet<u64>,
 }
 
 impl CbfTracker {
@@ -432,14 +455,17 @@ impl CbfTracker {
             hashers: (0..hashes)
                 .map(|i| crate::prince::Prince::new(seed ^ ((i as u128 + 1) << 96)))
                 .collect(),
-            hot: std::collections::HashSet::new(),
+            hot: std::collections::BTreeSet::new(),
         }
     }
 
     fn estimate(&self, row: u64) -> u64 {
         self.hashers
             .iter()
-            .map(|h| self.counters[(h.encrypt(row) as usize) % self.counters.len()] as u64)
+            .map(|h| {
+                let idx = (h.encrypt(row) as usize) % self.counters.len();
+                u64::from(self.counters.get(idx).copied().unwrap_or(0))
+            })
             .min()
             .unwrap_or(0)
     }
@@ -450,7 +476,9 @@ impl HotRowTracker for CbfTracker {
         let m = self.counters.len();
         for h in &self.hashers {
             let idx = (h.encrypt(row) as usize) % m;
-            self.counters[idx] = self.counters[idx].saturating_add(1);
+            if let Some(c) = self.counters.get_mut(idx) {
+                *c = c.saturating_add(1);
+            }
         }
         let est = self.estimate(row);
         if est >= self.threshold {
@@ -488,6 +516,7 @@ impl HotRowTracker for CbfTracker {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashMap;
 
     fn cfg(entries: usize, threshold: u64) -> TrackerConfig {
         TrackerConfig { entries, threshold }

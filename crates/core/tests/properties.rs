@@ -5,6 +5,7 @@
 use std::collections::{HashMap, HashSet};
 
 use rrs_check::{check, Gen};
+use rrs_core::audit::{CatAudit, RitAudit};
 use rrs_core::cat::{Cat, CatConfig};
 use rrs_core::prince::Prince;
 use rrs_core::prng::PrinceCtrRng;
@@ -103,6 +104,8 @@ fn cat_matches_hashmap_model() {
             }
             assert_eq!(cat.len(), model.len());
         }
+        // The ghost audit must agree with the model at rest.
+        CatAudit::verify(&cat).unwrap();
     });
 }
 
@@ -235,6 +238,7 @@ fn rit_is_always_a_permutation() {
                 RitOp::EndEpoch => rit.end_epoch(),
             }
             rit.check_invariants();
+            RitAudit::verify(&rit).unwrap();
             // Round-trip: occupant(resolve(x)) == x for mapped rows.
             for (logical, physical) in rit.iter().collect::<Vec<_>>() {
                 assert_eq!(rit.occupant(physical), logical);

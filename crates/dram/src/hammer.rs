@@ -18,7 +18,7 @@
 //! The model tracks *physical* rows: under RRS, activations land wherever
 //! the Row Indirection Table currently maps the requested row.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::geometry::{DramGeometry, RowAddr};
 
@@ -168,9 +168,9 @@ pub struct BitFlip {
 pub struct HammerModel {
     config: HammerConfig,
     geometry: DramGeometry,
-    disturbance: HashMap<RowAddr, f64>,
-    activations: HashMap<RowAddr, u64>,
-    flipped_this_epoch: HashSet<RowAddr>,
+    disturbance: BTreeMap<RowAddr, f64>,
+    activations: BTreeMap<RowAddr, u64>,
+    flipped_this_epoch: BTreeSet<RowAddr>,
     flips: Vec<BitFlip>,
     total_flips: u64,
     epoch: u64,
@@ -182,9 +182,9 @@ impl HammerModel {
         HammerModel {
             config,
             geometry,
-            disturbance: HashMap::new(),
-            activations: HashMap::new(),
-            flipped_this_epoch: HashSet::new(),
+            disturbance: BTreeMap::new(),
+            activations: BTreeMap::new(),
+            flipped_this_epoch: BTreeSet::new(),
             flips: Vec::new(),
             total_flips: 0,
             epoch: 0,
@@ -240,7 +240,10 @@ impl HammerModel {
 
     fn disturb_neighbors(&mut self, addr: RowAddr) {
         for d in 1..=self.config.blast_radius {
-            let w = self.config.distance_weights[d as usize - 1];
+            let Some(w) = self.config.distance_weights.get(d as usize - 1).copied() else {
+                // blast_radius beyond the configured weights: no disturbance.
+                continue;
+            };
             for n in addr.neighbors(d, &self.geometry) {
                 let e = self.disturbance.entry(n).or_insert(0.0);
                 *e += w;

@@ -1,0 +1,10 @@
+//! rrs-lint fixture: `index-panic` — one seeded violation, one escape.
+
+pub fn hot(t: &[u64], i: usize) -> u64 {
+    t[i] // seeded violation (line 4)
+}
+
+pub fn escaped_hot(t: &[u64], i: usize) -> u64 {
+    // lint: allow(index-panic) — fixture: demonstrates the documented escape
+    t[i]
+}

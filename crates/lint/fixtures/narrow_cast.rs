@@ -1,0 +1,10 @@
+//! rrs-lint fixture: `narrow-cast` — one seeded violation, one escape.
+
+pub fn narrows(x: u64) -> u32 {
+    x as u32 // seeded violation (line 4)
+}
+
+pub fn escaped_narrows(x: u64) -> u32 {
+    // lint: allow(narrow-cast) — fixture: demonstrates the documented escape
+    x as u32
+}

@@ -1,0 +1,10 @@
+//! rrs-lint fixture: `panic-site` — one seeded violation, one escape.
+
+pub fn hot(v: Option<u64>) -> u64 {
+    v.unwrap() // seeded violation (line 4)
+}
+
+pub fn escaped_hot(v: Option<u64>) -> u64 {
+    // lint: allow(panic-site) — fixture: demonstrates the documented escape
+    v.unwrap()
+}

@@ -1,0 +1,6 @@
+//! rrs-lint fixture: `unordered-iter` — one seeded violation, one escape.
+
+use std::collections::HashMap; // seeded violation (line 3)
+
+// lint: allow(unordered-iter) — fixture: demonstrates the documented escape
+use std::collections::HashSet;

@@ -1,0 +1,12 @@
+//! rrs-lint fixture: `wallclock` — one seeded violation, one escape.
+
+pub fn wall_start() {
+    let t = std::time::Instant::now(); // seeded violation (line 4)
+    drop(t);
+}
+
+pub fn escaped_wall_start() {
+    // lint: allow(wallclock) — fixture: demonstrates the documented escape
+    let t = std::time::Instant::now();
+    drop(t);
+}

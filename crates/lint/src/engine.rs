@@ -1,0 +1,334 @@
+//! The engine: file walking, `#[cfg(test)]` skipping, allow-annotation
+//! escapes, and the workspace entry point.
+
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{lex, Lexed};
+use crate::rules::{check, Violation};
+
+/// A violation bound to the file it was found in.
+#[derive(Debug, Clone)]
+pub struct FileViolation {
+    /// Path as reported (relative to the lint root).
+    pub path: PathBuf,
+    /// The underlying violation.
+    pub violation: Violation,
+}
+
+impl std::fmt::Display for FileViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path.display(),
+            self.violation.line,
+            self.violation.rule,
+            self.violation.message
+        )
+    }
+}
+
+/// Lints one source string as if it lived in crate `crate_name`.
+///
+/// This is the unit the engine (and the fixture tests) build on: it lexes,
+/// masks `#[cfg(test)]` items, runs every applicable rule, then drops
+/// violations covered by a well-formed allow annotation.
+pub fn lint_source(crate_name: &str, src: &str) -> Vec<Violation> {
+    let lexed = lex(src);
+    let skip = test_ranges(&lexed);
+    let const_fn = const_fn_ranges(&lexed);
+    let mut raw = Vec::new();
+    check(crate_name, &lexed, &skip, &const_fn, &mut raw);
+    let allows = allow_annotations(&lexed);
+    raw.retain(|v| {
+        !allows
+            .iter()
+            .any(|(line, rule)| v.rule == *rule && (v.line == *line || v.line == *line + 1))
+    });
+    raw.sort_by_key(|v| (v.line, v.rule));
+    raw
+}
+
+/// Parses `lint: allow(<rule>) — <reason>` escapes out of comments.
+/// Returns `(line, rule)` pairs; an annotation suppresses matching
+/// violations on its own line and the line directly below. Annotations
+/// without a reason are ignored (and therefore suppress nothing).
+fn allow_annotations<'a>(lexed: &'a Lexed<'a>) -> Vec<(u32, &'a str)> {
+    let mut out = Vec::new();
+    for c in &lexed.comments {
+        let mut rest = c.text;
+        while let Some(pos) = rest.find("lint: allow(") {
+            rest = &rest[pos + "lint: allow(".len()..];
+            let Some(close) = rest.find(')') else { break };
+            let rule = rest[..close].trim();
+            let after = rest[close + 1..].trim_start();
+            // The reason is mandatory: an em-dash/hyphen followed by text.
+            let has_reason = ["—", "–", "-", ":"]
+                .iter()
+                .any(|d| after.starts_with(d) && after[d.len()..].trim().len() >= 3);
+            if !rule.is_empty() && has_reason {
+                out.push((c.line, rule));
+            }
+            rest = after;
+        }
+    }
+    out
+}
+
+/// Computes token-index ranges belonging to `#[cfg(test)]`-gated items
+/// (inclusive), so rules never fire inside unit-test modules.
+fn test_ranges(lexed: &Lexed<'_>) -> Vec<(usize, usize)> {
+    let toks = &lexed.tokens;
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].text != "#" || !matches!(toks.get(i + 1), Some(t) if t.text == "[") {
+            i += 1;
+            continue;
+        }
+        let attr_start = i;
+        // Scan the attribute body to its matching `]`.
+        let mut j = i + 2;
+        let mut depth = 1i32;
+        let mut saw_cfg = false;
+        let mut saw_test = false;
+        while j < toks.len() && depth > 0 {
+            match toks[j].text {
+                "[" => depth += 1,
+                "]" => depth -= 1,
+                "cfg" => saw_cfg = true,
+                "test" => saw_test = true,
+                _ => {}
+            }
+            j += 1;
+        }
+        if !(saw_cfg && saw_test) {
+            i = j;
+            continue;
+        }
+        // Skip any further attributes on the same item.
+        while matches!(toks.get(j), Some(t) if t.text == "#")
+            && matches!(toks.get(j + 1), Some(t) if t.text == "[")
+        {
+            let mut d = 1i32;
+            j += 2;
+            while j < toks.len() && d > 0 {
+                match toks[j].text {
+                    "[" => d += 1,
+                    "]" => d -= 1,
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        // Consume the gated item: up to a `;` at depth 0, or the matching
+        // `}` of its first brace block.
+        let mut brace = 0i32;
+        let mut opened = false;
+        while j < toks.len() {
+            match toks[j].text {
+                "{" => {
+                    brace += 1;
+                    opened = true;
+                }
+                "}" => {
+                    brace -= 1;
+                    if opened && brace == 0 {
+                        break;
+                    }
+                }
+                ";" if !opened => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        out.push((attr_start, j.min(toks.len().saturating_sub(1))));
+        i = j + 1;
+    }
+    out
+}
+
+/// Computes token-index ranges of `const fn` bodies (inclusive). Indexing
+/// inside them is exempt from `index-panic`: the workspace only calls its
+/// `const fn`s in const initializers, where a bad index fails the build.
+fn const_fn_ranges(lexed: &Lexed<'_>) -> Vec<(usize, usize)> {
+    let toks = &lexed.tokens;
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        let is_const_fn = toks[i].text == "const"
+            && matches!(toks.get(i + 1).map(|t| t.text), Some("fn") | Some("unsafe"))
+            && (toks[i + 1].text == "fn" || matches!(toks.get(i + 2), Some(t) if t.text == "fn"));
+        if !is_const_fn {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        // Find the body's opening brace, then its match. A `const fn` in a
+        // trait may end with `;` instead — no body, nothing to exempt. The
+        // `;` must be at bracket depth 0: `[u8; 16]` in the signature is not
+        // an item terminator.
+        let mut j = i;
+        let mut sig_depth = 0i32;
+        while j < toks.len() {
+            match toks[j].text {
+                "(" | "[" => sig_depth += 1,
+                ")" | "]" => sig_depth -= 1,
+                "{" => break,
+                ";" if sig_depth <= 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        if j >= toks.len() || toks[j].text == ";" {
+            i = j + 1;
+            continue;
+        }
+        let mut depth = 0i32;
+        while j < toks.len() {
+            match toks[j].text {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        out.push((start, j.min(toks.len().saturating_sub(1))));
+        i = j + 1;
+    }
+    out
+}
+
+/// Recursively collects `.rs` files under `dir` in sorted order (so output
+/// and exit behavior are deterministic across filesystems).
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            rust_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints every `crates/<name>/src/**/*.rs` file under `root`.
+///
+/// Only `src/` trees are walked: integration tests, benches, examples, and
+/// the lint fixtures are exempt by construction.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<FileViolation>> {
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+
+    let mut out = Vec::new();
+    for crate_dir in crate_dirs {
+        let crate_name = crate_dir
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let src_dir = crate_dir.join("src");
+        if !src_dir.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        rust_files(&src_dir, &mut files)?;
+        for file in files {
+            let src = std::fs::read_to_string(&file)?;
+            let rel = file.strip_prefix(root).unwrap_or(&file).to_path_buf();
+            for violation in lint_source(&crate_name, &src) {
+                out.push(FileViolation {
+                    path: rel.clone(),
+                    violation,
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_modules_are_exempt() {
+        let src = "
+            fn hot() {}
+            #[cfg(test)]
+            mod tests {
+                use std::collections::HashMap;
+                #[test]
+                fn t() { x.unwrap(); }
+            }
+        ";
+        assert!(lint_source("core", src).is_empty());
+    }
+
+    #[test]
+    fn code_after_a_test_module_is_still_linted() {
+        let src = "
+            #[cfg(test)]
+            mod tests { fn t() { a.unwrap(); } }
+            fn hot(i: usize) { b.unwrap(); }
+        ";
+        let v = lint_source("core", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 4);
+    }
+
+    #[test]
+    fn allow_annotation_with_reason_suppresses() {
+        let same_line = "let x = v.unwrap(); // lint: allow(panic-site) — seeded above\n";
+        assert!(lint_source("core", same_line).is_empty());
+        let line_above = "// lint: allow(panic-site) — seeded above\nlet x = v.unwrap();\n";
+        assert!(lint_source("core", line_above).is_empty());
+    }
+
+    #[test]
+    fn allow_annotation_without_reason_is_inert() {
+        let src = "let x = v.unwrap(); // lint: allow(panic-site)\n";
+        assert_eq!(lint_source("core", src).len(), 1);
+    }
+
+    #[test]
+    fn allow_annotation_is_rule_specific() {
+        let src = "let x = v.unwrap(); // lint: allow(index-panic) — wrong rule\n";
+        assert_eq!(lint_source("core", src).len(), 1);
+    }
+
+    #[test]
+    fn const_fn_bodies_are_exempt_from_index_panic_only() {
+        let src = "
+            const fn build(t: [u8; 16], i: usize) -> u8 { t[i] }
+            fn hot(t: [u8; 16], i: usize) -> u8 { t[i] }
+        ";
+        let v = lint_source("core", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!((v[0].rule, v[0].line), ("index-panic", 3));
+    }
+
+    #[test]
+    fn cfg_gated_use_statement_is_skipped() {
+        let src = "
+            #[cfg(test)]
+            use std::collections::HashMap;
+            fn hot() { q.unwrap(); }
+        ";
+        let v = lint_source("core", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "panic-site");
+    }
+}

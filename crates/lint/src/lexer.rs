@@ -1,0 +1,349 @@
+//! A minimal Rust lexer: just enough to walk source as tokens.
+//!
+//! The scanner does not aim to be a full Rust lexer — it only needs to
+//! classify identifiers, integer literals, and punctuation while *reliably*
+//! skipping everything that could contain misleading text: line and
+//! (nested) block comments, string/raw-string/byte-string literals, char
+//! literals, and lifetimes. Comments are kept (with their line numbers)
+//! because the allow-annotation syntax lives in them.
+
+/// What a token is, at the granularity the rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`swap`, `as`, `unwrap`, …).
+    Ident,
+    /// Integer literal (`0`, `0x1F`, `1_000u64`). Never a float.
+    IntLit,
+    /// Any other literal (floats, strings are skipped so this is rare).
+    OtherLit,
+    /// A single punctuation character (`[`, `.`, `!`, …).
+    Punct,
+}
+
+/// One token with its source position.
+#[derive(Debug, Clone, Copy)]
+pub struct Token<'a> {
+    /// Classification.
+    pub kind: TokenKind,
+    /// The token's text, borrowed from the source.
+    pub text: &'a str,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+/// A comment (line or block), kept for annotation parsing.
+#[derive(Debug, Clone, Copy)]
+pub struct Comment<'a> {
+    /// Comment text including the `//` / `/*` markers.
+    pub text: &'a str,
+    /// 1-based line on which the comment starts.
+    pub line: u32,
+}
+
+/// Lexer output: the token stream plus every comment.
+#[derive(Debug)]
+pub struct Lexed<'a> {
+    /// Tokens in source order.
+    pub tokens: Vec<Token<'a>>,
+    /// Comments in source order.
+    pub comments: Vec<Comment<'a>>,
+}
+
+/// Tokenizes `src`. Unterminated constructs are tolerated (the remainder of
+/// the file is consumed); the linter must never panic on weird input.
+pub fn lex(src: &str) -> Lexed<'_> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut comments = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                comments.push(Comment {
+                    text: &src[start..i],
+                    line,
+                });
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                let start_line = line;
+                let mut depth = 1u32;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if bytes[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                comments.push(Comment {
+                    text: &src[start..i],
+                    line: start_line,
+                });
+            }
+            b'"' => i = skip_string(bytes, i, &mut line),
+            b'r' | b'b' if is_raw_or_byte_string(bytes, i) => {
+                i = skip_raw_or_byte_string(bytes, i, &mut line)
+            }
+            b'\'' => {
+                let (next, is_char) = skip_char_or_lifetime(bytes, i, &mut line);
+                if is_char {
+                    // A char literal is an OtherLit; rules never look at it.
+                    tokens.push(Token {
+                        kind: TokenKind::OtherLit,
+                        text: &src[i..next],
+                        line,
+                    });
+                }
+                i = next;
+            }
+            _ if b.is_ascii_digit() => {
+                let start = i;
+                let mut is_float = false;
+                i += 1;
+                while i < bytes.len() {
+                    let c = bytes[i];
+                    if c.is_ascii_alphanumeric() || c == b'_' {
+                        i += 1;
+                    } else if c == b'.' && bytes.get(i + 1).is_some_and(|d| d.is_ascii_digit()) {
+                        is_float = true;
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token {
+                    kind: if is_float {
+                        TokenKind::OtherLit
+                    } else {
+                        TokenKind::IntLit
+                    },
+                    text: &src[start..i],
+                    line,
+                });
+            }
+            _ if b.is_ascii_alphabetic() || b == b'_' || b >= 0x80 => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] >= 0x80)
+                {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text: &src[start..i],
+                    line,
+                });
+            }
+            _ => {
+                tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text: &src[i..i + 1],
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+
+    Lexed { tokens, comments }
+}
+
+/// Whether position `i` starts a raw string (`r"`, `r#"`), byte string
+/// (`b"`, `br"`, `br#"`) or raw identifier (`r#ident` — returns false).
+fn is_raw_or_byte_string(bytes: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if bytes.get(j) == Some(&b'r') {
+        j += 1;
+        let mut k = j;
+        while bytes.get(k) == Some(&b'#') {
+            k += 1;
+        }
+        if bytes.get(k) == Some(&b'"') {
+            return true;
+        }
+        // `r#ident` raw identifier or plain ident starting with r.
+        return false;
+    }
+    bytes.get(j) == Some(&b'"') && j > i // only for the `b"` prefix case
+}
+
+/// Skips a normal (escaped) string literal starting at `"`; returns the
+/// index just past the closing quote.
+fn skip_string(bytes: &[u8], mut i: usize, line: &mut u32) -> usize {
+    i += 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skips `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#` starting at the `r`/`b`.
+fn skip_raw_or_byte_string(bytes: &[u8], mut i: usize, line: &mut u32) -> usize {
+    if bytes[i] == b'b' {
+        i += 1;
+    }
+    if bytes.get(i) == Some(&b'r') {
+        i += 1;
+        let mut hashes = 0usize;
+        while bytes.get(i) == Some(&b'#') {
+            hashes += 1;
+            i += 1;
+        }
+        i += 1; // opening quote
+        while i < bytes.len() {
+            if bytes[i] == b'\n' {
+                *line += 1;
+            }
+            if bytes[i] == b'"' {
+                let mut k = 0usize;
+                while k < hashes && bytes.get(i + 1 + k) == Some(&b'#') {
+                    k += 1;
+                }
+                if k == hashes {
+                    return i + 1 + hashes;
+                }
+            }
+            i += 1;
+        }
+        i
+    } else {
+        // plain b"…"
+        skip_string(bytes, i, line)
+    }
+}
+
+/// Disambiguates `'a'` (char literal) from `'a` (lifetime) starting at the
+/// quote. Returns `(next_index, is_char_literal)`.
+fn skip_char_or_lifetime(bytes: &[u8], i: usize, line: &mut u32) -> (usize, bool) {
+    let Some(&next) = bytes.get(i + 1) else {
+        return (i + 1, false);
+    };
+    if next == b'\\' {
+        // Escaped char literal: consume to closing quote.
+        let mut j = i + 2;
+        while j < bytes.len() {
+            match bytes[j] {
+                b'\\' => j += 2,
+                b'\'' => return (j + 1, true),
+                _ => j += 1,
+            }
+        }
+        return (j, true);
+    }
+    if next.is_ascii_alphanumeric() || next == b'_' {
+        // Could be 'x' (char) or 'ident (lifetime).
+        let mut j = i + 1;
+        while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+            j += 1;
+        }
+        if bytes.get(j) == Some(&b'\'') {
+            return (j + 1, true);
+        }
+        return (j, false); // lifetime
+    }
+    if next == b'\n' {
+        *line += 1;
+    }
+    // Punctuation char literal like '(' or ' '.
+    if bytes.get(i + 2) == Some(&b'\'') {
+        return (i + 3, true);
+    }
+    (i + 1, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<&str> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_identifiers() {
+        let src = r##"
+            // HashMap in a comment
+            /* Instant in /* nested */ block */
+            let s = "SystemTime inside a string";
+            let r = r#"unwrap() in raw string"#;
+            let real = thing;
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"real"));
+        assert!(ids.contains(&"thing"));
+        for bad in ["HashMap", "Instant", "SystemTime", "unwrap"] {
+            assert!(!ids.contains(&bad), "{bad} leaked out of a literal");
+        }
+        assert_eq!(lex(src).comments.len(), 2);
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let ids = idents(src);
+        assert!(ids.contains(&"str"));
+        // Neither the lifetime's `a` nor the char body become identifiers.
+        assert!(!ids.contains(&"x") || ids.iter().filter(|s| **s == "x").count() == 1);
+    }
+
+    #[test]
+    fn line_numbers_are_tracked() {
+        let src = "a\nb\n\nc";
+        let toks = lex(src).tokens;
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn integer_vs_float_literals() {
+        let toks = lex("a[0x1F]; b[i]; 1.5; 2usize").tokens;
+        let ints: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::IntLit)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(ints, vec!["0x1F", "2usize"]);
+    }
+
+    #[test]
+    fn escaped_char_literal_with_quote() {
+        let ids = idents(r"let q = '\''; let after = 1;");
+        assert!(ids.contains(&"after"));
+    }
+}

@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! # rrs-lint — the workspace's determinism & panic-safety gate
+//!
+//! A zero-dependency static-analysis pass over every workspace crate's
+//! `src/` tree. It mechanically enforces the invariants the paper's
+//! security argument (§5, §6.2) and the campaign engine's byte-identity
+//! promise rest on, the same way the workspace replaced `rand`, `proptest`
+//! and `criterion` with in-repo equivalents: with a small in-repo tool
+//! instead of an external dependency.
+//!
+//! See [`rules`] for the rule table and [`engine::lint_workspace`] for the
+//! entry point; the binary front-end is `cargo run -p rrs-lint -- check`.
+//!
+//! ```
+//! use rrs_lint::engine::lint_source;
+//!
+//! let violations = lint_source("core", "let t = std::time::Instant::now();");
+//! assert_eq!(violations[0].rule, "wallclock");
+//! ```
+
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use engine::{lint_source, lint_workspace, FileViolation};
+pub use rules::{Violation, ALL_RULES};

@@ -1,0 +1,89 @@
+//! `rrs-lint` binary: `check` (the CI gate) and `rules` (documentation).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use rrs_lint::{lint_source, lint_workspace, ALL_RULES};
+
+const USAGE: &str = "\
+rrs-lint — static determinism & panic-safety checks for the RRS workspace
+
+USAGE:
+    rrs-lint check [ROOT]             lint every crates/*/src tree under ROOT (default: .)
+    rrs-lint check-file CRATE FILE..  lint individual files as if they lived in crate CRATE
+    rrs-lint rules                    list the enforced rules
+    rrs-lint help                     show this message
+
+Exit status: 0 clean, 1 violations found, 2 usage or I/O error.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => {
+            let root = PathBuf::from(args.get(1).map(String::as_str).unwrap_or("."));
+            match lint_workspace(&root) {
+                Ok(violations) if violations.is_empty() => {
+                    eprintln!("rrs-lint: clean");
+                    ExitCode::SUCCESS
+                }
+                Ok(violations) => {
+                    for v in &violations {
+                        println!("{v}");
+                    }
+                    eprintln!("rrs-lint: {} violation(s)", violations.len());
+                    ExitCode::FAILURE
+                }
+                Err(e) => {
+                    eprintln!("rrs-lint: cannot lint {}: {e}", root.display());
+                    ExitCode::from(2)
+                }
+            }
+        }
+        Some("check-file") => {
+            let Some(crate_name) = args.get(1) else {
+                eprintln!("rrs-lint: check-file needs a crate name\n\n{USAGE}");
+                return ExitCode::from(2);
+            };
+            let files = &args[2..];
+            if files.is_empty() {
+                eprintln!("rrs-lint: check-file needs at least one file\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            let mut total = 0usize;
+            for file in files {
+                let src = match std::fs::read_to_string(file) {
+                    Ok(src) => src,
+                    Err(e) => {
+                        eprintln!("rrs-lint: cannot read {file}: {e}");
+                        return ExitCode::from(2);
+                    }
+                };
+                for v in lint_source(crate_name, &src) {
+                    println!("{file}:{}: [{}] {}", v.line, v.rule, v.message);
+                    total += 1;
+                }
+            }
+            if total == 0 {
+                eprintln!("rrs-lint: clean");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("rrs-lint: {total} violation(s)");
+                ExitCode::FAILURE
+            }
+        }
+        Some("rules") => {
+            for rule in ALL_RULES {
+                println!("{rule}");
+            }
+            ExitCode::SUCCESS
+        }
+        Some("help") | Some("--help") | Some("-h") | None => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("rrs-lint: unknown command {other:?}\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

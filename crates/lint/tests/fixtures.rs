@@ -1,0 +1,93 @@
+//! Fixture tests: every rule has a file under `fixtures/` with exactly one
+//! seeded violation (exact rule id + line asserted here) and one
+//! allow-escaped instance that must suppress cleanly. The workspace walker
+//! never visits `fixtures/`, so the shipped tree stays lint-clean.
+
+use std::path::Path;
+
+use rrs_lint::{lint_source, lint_workspace};
+
+/// (rule id, crate the fixture is linted as, source, expected line).
+const FIXTURES: &[(&str, &str, &str, u32)] = &[
+    (
+        "wallclock",
+        "sim",
+        include_str!("../fixtures/wallclock.rs"),
+        4,
+    ),
+    // Linted as `bench` — not a simulation or hot-loop crate — to show the
+    // determinism rule applies everywhere.
+    (
+        "unordered-iter",
+        "bench",
+        include_str!("../fixtures/unordered_iter.rs"),
+        3,
+    ),
+    (
+        "panic-site",
+        "core",
+        include_str!("../fixtures/panic_site.rs"),
+        4,
+    ),
+    (
+        "index-panic",
+        "mem-ctrl",
+        include_str!("../fixtures/index_panic.rs"),
+        4,
+    ),
+    (
+        "narrow-cast",
+        "core",
+        include_str!("../fixtures/narrow_cast.rs"),
+        4,
+    ),
+];
+
+#[test]
+fn every_fixture_reports_exactly_its_seeded_violation() {
+    for &(rule, crate_name, src, line) in FIXTURES {
+        let violations = lint_source(crate_name, src);
+        assert_eq!(
+            violations.len(),
+            1,
+            "fixture for `{rule}` must yield exactly one violation \
+             (the escape must suppress the other); got {violations:?}"
+        );
+        assert_eq!(violations[0].rule, rule, "wrong rule id for `{rule}`");
+        assert_eq!(
+            violations[0].line, line,
+            "wrong line for `{rule}`: {:?}",
+            violations[0]
+        );
+    }
+}
+
+#[test]
+fn every_rule_has_a_fixture() {
+    for rule in rrs_lint::ALL_RULES {
+        assert!(
+            FIXTURES.iter().any(|(r, ..)| r == rule),
+            "rule `{rule}` has no fixture"
+        );
+    }
+}
+
+/// The acceptance bar for the shipped tree: `cargo run -p rrs-lint -- check`
+/// exits 0, i.e. the workspace itself has zero unescaped violations.
+#[test]
+fn shipped_workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("lint crate lives at <root>/crates/lint");
+    let violations = lint_workspace(root).expect("workspace walk must succeed");
+    assert!(
+        violations.is_empty(),
+        "workspace has lint violations:\n{}",
+        violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

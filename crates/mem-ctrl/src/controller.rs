@@ -240,6 +240,7 @@ impl MemoryController {
 
     fn bank_mut(&mut self, addr: RowAddr) -> &mut Bank {
         let idx = addr.bank_index(&self.config.geometry);
+        // lint: allow(index-panic) — `bank_index` is `< geometry.total_banks()` by construction and `banks` has exactly that length
         &mut self.banks[idx]
     }
 
@@ -259,10 +260,9 @@ impl MemoryController {
 
         let ch = physical.channel.0 as usize;
         let mut start = now + self.mitigation.access_latency();
-        start = start.max(self.channel_blocked[ch]);
+        start = start.max(self.channel_blocked.get(ch).copied().unwrap_or(0));
 
-        let bank_idx = physical.bank_index(&self.config.geometry);
-        let will_activate = self.banks[bank_idx].open_row() != Some(physical.row);
+        let will_activate = self.bank_mut(physical).open_row() != Some(physical.row);
         // Throttling (BlockHammer): the mitigation may require this row's
         // activation to wait until `prospective + delay`, where
         // `prospective` is when the ACT would otherwise issue (so bank
@@ -272,12 +272,14 @@ impl MemoryController {
         // the Row Hammer accounting observe the delayed activation time.
         let mut delay = 0;
         if will_activate {
-            let prospective = self.banks[bank_idx].earliest_activate(start);
+            let prospective = self.bank_mut(physical).earliest_activate(start);
             delay = self.mitigation.activation_delay(logical, prospective);
             self.stats.mitigation_delay_cycles += delay;
         }
 
-        let outcome = self.banks[bank_idx].access(physical.row, is_write, start);
+        let outcome = self
+            .bank_mut(physical)
+            .access(physical.row, is_write, start);
         if is_write {
             self.stats.writes += 1;
         } else {
@@ -298,15 +300,19 @@ impl MemoryController {
         }
 
         if self.config.page_policy == PagePolicy::Closed {
-            self.banks[bank_idx].precharge(outcome.data_at);
+            self.bank_mut(physical).precharge(outcome.data_at);
         }
 
         // The held-aside (throttled) request must not reserve the shared
         // data bus at its delayed slot — that would head-of-line block the
         // whole channel. The bus is booked at the undelayed time; only the
         // requester observes the delay.
-        let bus_slot = outcome.data_at.max(self.bus_free[ch]);
-        self.bus_free[ch] = bus_slot + self.config.timing.line_transfer_cycles();
+        let bus_slot = outcome
+            .data_at
+            .max(self.bus_free.get(ch).copied().unwrap_or(0));
+        if let Some(slot) = self.bus_free.get_mut(ch) {
+            *slot = bus_slot + self.config.timing.line_transfer_cycles();
+        }
         let data_at = bus_slot + delay;
         self.clock = self.clock.max(data_at);
         data_at
@@ -339,18 +345,15 @@ impl MemoryController {
     }
 
     fn do_refresh(&mut self) {
-        let t = self.next_refresh;
-        let end = t + self.config.timing.t_rfc;
-        let g = self.config.geometry;
-        for c in 0..g.channels {
-            for r in 0..g.ranks_per_channel {
-                for b in 0..g.banks_per_rank {
-                    let idx = (c * g.ranks_per_channel + r) * g.banks_per_rank + b;
-                    self.banks[idx].force_busy_until(end);
-                    if b == 0 {
-                        self.banks[idx].record_refresh();
-                    }
-                }
+        let end = self.next_refresh + self.config.timing.t_rfc;
+        // Banks are laid out `((channel * ranks) + rank) * banks_per_rank +
+        // bank`, so walking the vector in order visits each rank's bank 0
+        // exactly when `i % banks_per_rank == 0`.
+        let banks_per_rank = self.config.geometry.banks_per_rank;
+        for (i, bank) in self.banks.iter_mut().enumerate() {
+            bank.force_busy_until(end);
+            if i % banks_per_rank == 0 {
+                bank.record_refresh();
             }
         }
         self.next_refresh += self.config.timing.t_refi;
@@ -392,9 +395,11 @@ impl MemoryController {
                     let is_swap = matches!(action, MitigationAction::RowSwap { .. });
                     let cost = self.config.swap_cycles;
                     let ch = a.channel.0 as usize;
-                    let start = at.max(self.channel_blocked[ch]);
+                    let start = at.max(self.channel_blocked.get(ch).copied().unwrap_or(0));
                     let end = start + cost;
-                    self.channel_blocked[ch] = end;
+                    if let Some(slot) = self.channel_blocked.get_mut(ch) {
+                        *slot = end;
+                    }
                     for row in [a, b] {
                         let bank = self.bank_mut(row);
                         bank.force_busy_until(end);

@@ -123,7 +123,10 @@ impl QueuedController {
     /// channel queue is full — callers model backpressure by retrying.
     pub fn submit(&mut self, id: u64, addr: u64, is_write: bool, arrival: Cycle) -> bool {
         let decoded = self.mapper.decode(addr);
-        let q = &mut self.queues[decoded.row.channel.0 as usize];
+        let ch = decoded.row.channel.0 as usize;
+        let Some(q) = self.queues.get_mut(ch) else {
+            return false;
+        };
         if q.len() >= self.queue_capacity {
             return false;
         }
@@ -155,7 +158,7 @@ impl QueuedController {
 
     /// Chooses the next queue index to issue on `ch`, honouring the policy.
     fn pick(&self, ch: usize, horizon: Cycle) -> Option<usize> {
-        let q = &self.queues[ch];
+        let q = self.queues.get(ch)?;
         let eligible = |p: &Pending| p.arrival <= horizon;
         match self.policy {
             SchedPolicy::Fcfs => {
@@ -174,7 +177,7 @@ impl QueuedController {
                     .filter(|(_, p)| eligible(p))
                     .filter(|(_, p)| {
                         let idx = p.decoded.row.bank_index(&self.geometry);
-                        self.banks[idx].open_row() == Some(p.decoded.row.row)
+                        self.banks.get(idx).and_then(|b| b.open_row()) == Some(p.decoded.row.row)
                     })
                     .min_by_key(|(_, p)| p.arrival)
                     .map(|(i, _)| i);
@@ -190,16 +193,27 @@ impl QueuedController {
     }
 
     fn issue(&mut self, ch: usize, slot: usize) {
-        let p = self.queues[ch].remove(slot).expect("picked slot exists");
+        // `pick` only returns occupied slots of existing queues; if the
+        // structures ever disagree, the request is simply not issued.
+        let Some(p) = self.queues.get_mut(ch).and_then(|q| q.remove(slot)) else {
+            return;
+        };
         let idx = p.decoded.row.bank_index(&self.geometry);
-        let outcome = self.banks[idx].access(p.decoded.row.row, p.is_write, p.arrival);
+        let Some(bank) = self.banks.get_mut(idx) else {
+            return;
+        };
+        let outcome = bank.access(p.decoded.row.row, p.is_write, p.arrival);
         if outcome.row_hit {
             self.row_hits += 1;
         } else {
             self.activations += 1;
         }
-        let data = outcome.data_at.max(self.bus_free[ch]);
-        self.bus_free[ch] = data + self.timing.line_transfer_cycles();
+        let data = outcome
+            .data_at
+            .max(self.bus_free.get(ch).copied().unwrap_or(0));
+        if let Some(slot) = self.bus_free.get_mut(ch) {
+            *slot = data + self.timing.line_transfer_cycles();
+        }
         self.completions.push(Completion {
             id: p.id,
             done_at: data,

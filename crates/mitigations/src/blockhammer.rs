@@ -78,7 +78,7 @@ struct BankFilters {
     /// Exact last-activation time per *blacklisted* row (BlockHammer's
     /// activation-history buffer): spacing is enforced per row, while the
     /// Bloom filters decide — with aliasing collateral — who is throttled.
-    last_act: std::collections::HashMap<u32, Cycle>,
+    last_act: std::collections::BTreeMap<u32, Cycle>,
 }
 
 impl BankFilters {
@@ -86,7 +86,7 @@ impl BankFilters {
         BankFilters {
             filters: [vec![0; m], vec![0; m]],
             older: 0,
-            last_act: std::collections::HashMap::new(),
+            last_act: std::collections::BTreeMap::new(),
         }
     }
 }

@@ -13,7 +13,7 @@
 //! paper notes is still insufficient — the blast radius just moves to
 //! distance 3 as devices scale (§1).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rrs_dram::geometry::{DramGeometry, RowAddr};
 use rrs_dram::timing::Cycle;
@@ -45,7 +45,7 @@ impl VictimRefreshConfig {
 pub struct VictimRefresh {
     config: VictimRefreshConfig,
     geometry: DramGeometry,
-    counts: HashMap<RowAddr, u64>,
+    counts: BTreeMap<RowAddr, u64>,
     name: String,
 }
 
@@ -59,7 +59,7 @@ impl VictimRefresh {
             ),
             config,
             geometry,
-            counts: HashMap::new(),
+            counts: BTreeMap::new(),
         }
     }
 

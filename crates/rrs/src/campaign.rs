@@ -35,7 +35,7 @@
 //! assert!(run.normalized(mitigated, base) > 0.0);
 //! ```
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -199,7 +199,7 @@ impl RunOptions {
 #[derive(Debug, Default)]
 pub struct Campaign {
     cells: Vec<Cell>,
-    by_id: HashMap<String, usize>,
+    by_id: BTreeMap<String, usize>,
 }
 
 impl Campaign {

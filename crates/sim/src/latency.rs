@@ -32,7 +32,9 @@ impl LatencyStats {
     /// Records one latency sample.
     pub fn record(&mut self, latency: Cycle) {
         let idx = (64 - latency.leading_zeros() as usize).min(BUCKETS - 1);
-        self.buckets[idx] += 1;
+        if let Some(b) = self.buckets.get_mut(idx) {
+            *b += 1;
+        }
         self.count += 1;
         self.sum += latency as u128;
         self.max = self.max.max(latency);

@@ -139,7 +139,10 @@ impl Llc {
         self.stamp += 1;
         let (set, tag) = self.index(addr);
         let base = set * self.config.ways;
-        let ways = &mut self.lines[base..base + self.config.ways];
+        let ways = self
+            .lines
+            .get_mut(base..base + self.config.ways)
+            .unwrap_or(&mut []);
 
         if let Some(line) = ways.iter_mut().find(|l| l.valid && l.tag == tag) {
             line.lru = self.stamp;
@@ -152,13 +155,15 @@ impl Llc {
         }
         self.misses += 1;
         // Victim: invalid way if any, else LRU.
-        let victim = ways
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, l)| if l.valid { l.lru + 1 } else { 0 })
-            .map(|(i, _)| i)
-            .expect("nonzero associativity");
-        let v = &mut ways[victim];
+        let Some(v) = ways
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.lru + 1 } else { 0 })
+        else {
+            return LlcOutcome {
+                hit: false,
+                writeback: None,
+            };
+        };
         let writeback = (v.valid && v.dirty)
             .then(|| (v.tag * self.sets as u64 + set as u64) * self.config.line_bytes as u64);
         *v = Line {

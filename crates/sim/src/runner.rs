@@ -239,10 +239,14 @@ pub fn run(
 
     let burst = config.core_burst.max(1);
     while let Some(Reverse((_, cid))) = heap.pop() {
+        // The heap only ever holds core ids `< config.cores`, which both
+        // vectors were sized from.
+        let (Some(source), Some(core)) = (sources.get_mut(cid), cores.get_mut(cid)) else {
+            continue;
+        };
         let mut finished = false;
         for _ in 0..burst {
-            let rec = sources[cid].next_record();
-            let core = &mut cores[cid];
+            let rec = source.next_record();
 
             // Retire the gap at fetch width.
             core.time += (rec.gap as u64).div_ceil(config.fetch_width as u64);
@@ -266,14 +270,15 @@ pub fn run(
                 }
             }
 
-            for &(addr, is_write) in &to_dram[..n_dram] {
+            for &(addr, is_write) in to_dram.iter().take(n_dram) {
                 let done = mc.access(addr, is_write, core.time);
                 if !is_write {
                     read_latency.record(done.saturating_sub(core.time).max(1));
                     core.outstanding.push_back(done);
                     if core.outstanding.len() >= config.max_outstanding {
-                        let oldest = core.outstanding.pop_front().expect("nonempty");
-                        core.time = core.time.max(oldest);
+                        if let Some(oldest) = core.outstanding.pop_front() {
+                            core.time = core.time.max(oldest);
+                        }
                     }
                 }
             }
@@ -288,8 +293,7 @@ pub fn run(
             }
         }
         if !finished {
-            let t = cores[cid].time;
-            heap.push(Reverse((t, cid)));
+            heap.push(Reverse((core.time, cid)));
         }
     }
 
