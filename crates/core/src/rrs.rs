@@ -198,6 +198,12 @@ impl<T: HotRowTracker> BankRrs<T> {
         &self.config
     }
 
+    /// Adopts a shared telemetry spine, forwarding it to the tracker (all
+    /// banks share the `hrt.*` / `cat.*` aggregate counters by name).
+    pub fn attach_telemetry(&mut self, telemetry: &rrs_telemetry::Telemetry) {
+        self.tracker.attach_telemetry(telemetry);
+    }
+
     /// Physical row currently holding logical `row` (§4.1 steps ①–③).
     pub fn resolve(&self, row: u64) -> u64 {
         self.rit.resolve(row)
@@ -328,6 +334,13 @@ impl Rrs {
     /// The engine's configuration.
     pub fn config(&self) -> &RrsConfig {
         &self.config
+    }
+
+    /// Adopts a shared telemetry spine across every bank unit.
+    pub fn attach_telemetry(&mut self, telemetry: &rrs_telemetry::Telemetry) {
+        for b in &mut self.banks {
+            b.attach_telemetry(telemetry);
+        }
     }
 
     /// The geometry the engine covers.

@@ -8,6 +8,7 @@
 //! buffered streaming with in-DRAM row copies.
 
 use rrs_dram::timing::{Cycle, TimingParams};
+use rrs_telemetry::{Counter, Event, Telemetry};
 
 /// How row contents are physically exchanged.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -41,6 +42,9 @@ pub struct SwapEngine {
     swap_cost: Cycle,
     stats: SwapStats,
     busy_until: Cycle,
+    telemetry: Telemetry,
+    swaps_published: Counter,
+    unswaps_published: Counter,
 }
 
 impl SwapEngine {
@@ -51,12 +55,27 @@ impl SwapEngine {
             // Four in-DRAM copies, each bounded by one row cycle.
             SwapMode::RowClone => 4 * timing.t_rc,
         };
+        let telemetry = Telemetry::new();
         SwapEngine {
             mode,
             swap_cost,
             stats: SwapStats::default(),
             busy_until: 0,
+            swaps_published: telemetry.counter("swap_engine.swaps"),
+            unswaps_published: telemetry.counter("swap_engine.unswaps"),
+            telemetry,
         }
+    }
+
+    /// Adopts a shared telemetry spine: publishes `swap_engine.*` counters
+    /// and, when tracing, [`Event::SwapStart`] / [`Event::SwapDone`] /
+    /// [`Event::Unswap`] via the row-aware recording methods. The
+    /// [`SwapStats`] ledger stays the accounting source of truth (the
+    /// ghost-state audit checks it); the spine mirrors it for export.
+    pub fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        self.swaps_published = telemetry.counter("swap_engine.swaps");
+        self.unswaps_published = telemetry.counter("swap_engine.unswaps");
+        self.telemetry = telemetry.clone();
     }
 
     /// The configured exchange mechanism.
@@ -84,16 +103,53 @@ impl SwapEngine {
     pub fn record_swap(&mut self, now: Cycle) -> Cycle {
         self.stats.swaps += 1;
         self.stats.epoch_swaps += 1;
+        self.swaps_published.inc();
         let free = self.block(now);
         self.debug_audit();
+        free
+    }
+
+    /// [`SwapEngine::record_swap`] with the row pair known, so the swap's
+    /// start and completion appear on the event trace.
+    pub fn record_swap_of(&mut self, now: Cycle, row_a: u64, row_b: u64) -> Cycle {
+        let start = now.max(self.busy_until);
+        let free = self.record_swap(now);
+        if self.telemetry.tracing() {
+            self.telemetry.emit(Event::SwapStart {
+                at: start,
+                row_a,
+                row_b,
+            });
+            self.telemetry.emit(Event::SwapDone {
+                at: free,
+                row_a,
+                row_b,
+            });
+        }
         free
     }
 
     /// Records one un-swap (RIT eviction) starting no earlier than `now`.
     pub fn record_unswap(&mut self, now: Cycle) -> Cycle {
         self.stats.unswaps += 1;
+        self.unswaps_published.inc();
         let free = self.block(now);
         self.debug_audit();
+        free
+    }
+
+    /// [`SwapEngine::record_unswap`] with the row pair known, so the
+    /// restore appears on the event trace.
+    pub fn record_unswap_of(&mut self, now: Cycle, row_a: u64, row_b: u64) -> Cycle {
+        let start = now.max(self.busy_until);
+        let free = self.record_unswap(now);
+        if self.telemetry.tracing() {
+            self.telemetry.emit(Event::Unswap {
+                at: start,
+                row_a,
+                row_b,
+            });
+        }
         free
     }
 

@@ -23,6 +23,8 @@
 
 use std::collections::BTreeMap;
 
+use rrs_telemetry::{Counter, Event, Telemetry};
+
 use crate::cat::{Cat, CatConfig};
 
 /// What the tracker concluded about one activation.
@@ -61,6 +63,13 @@ pub trait HotRowTracker {
     /// Clears all state at the end of a tracking window (§4.1: "The HRT is
     /// reset at the end of every epoch").
     fn reset(&mut self);
+
+    /// Adopts a shared telemetry spine: register `hrt.*` counters and emit
+    /// [`Event::HrtInstall`] / [`Event::HrtEvict`] when tracing. The
+    /// default keeps a tracker unobserved (zero overhead).
+    fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        let _ = telemetry;
+    }
 }
 
 /// Shared Misra-Gries bookkeeping parameters.
@@ -209,6 +218,10 @@ pub struct CatTracker {
     /// astronomically rare with the paper's 6 extra ways (Figure 9); the
     /// tracker degrades to spill-counting instead of failing.
     conflicts: u64,
+    telemetry: Telemetry,
+    installs: Counter,
+    evicts: Counter,
+    cat_relocations: Counter,
 }
 
 impl CatTracker {
@@ -223,12 +236,17 @@ impl CatTracker {
     /// Creates a tracker over an explicitly shaped CAT.
     pub fn with_cat_config(config: TrackerConfig, cat_cfg: CatConfig) -> Self {
         let sets = cat_cfg.sets;
+        let telemetry = Telemetry::new();
         CatTracker {
             config,
             cat: Cat::new(cat_cfg),
             set_min: [vec![u64::MAX; sets], vec![u64::MAX; sets]],
             spill: 0,
             conflicts: 0,
+            installs: telemetry.counter("hrt.installs"),
+            evicts: telemetry.counter("hrt.evicts"),
+            cat_relocations: telemetry.counter("cat.relocations"),
+            telemetry,
         }
     }
 
@@ -308,6 +326,14 @@ impl CatTracker {
         };
         self.cat.remove(tag);
         self.recompute_set_min(loc.0, loc.1);
+        self.evicts.inc();
+        if self.telemetry.tracing() {
+            self.telemetry.emit(Event::HrtEvict {
+                at: self.telemetry.now(),
+                row: tag,
+                count: min,
+            });
+        }
         true
     }
 
@@ -325,10 +351,21 @@ impl CatTracker {
     /// preserving the Misra-Gries over-estimation invariant (the spill
     /// counter over-approximates every untracked row).
     fn install(&mut self, row: u64, count: u64) -> bool {
+        let relocations_before = self.cat.relocations();
         match self.cat.insert(row, count) {
             Ok((table, set, _)) => {
                 if let Some(slot) = self.set_min.get_mut(table).and_then(|v| v.get_mut(set)) {
                     *slot = (*slot).min(count);
+                }
+                self.installs.inc();
+                let moves = self.cat.relocations() - relocations_before;
+                self.cat_relocations.add(moves);
+                if self.telemetry.tracing() {
+                    let at = self.telemetry.now();
+                    self.telemetry.emit(Event::HrtInstall { at, row, count });
+                    if moves > 0 {
+                        self.telemetry.emit(Event::CatRelocation { at, moves });
+                    }
                 }
                 true
             }
@@ -419,6 +456,15 @@ impl HotRowTracker for CatTracker {
             v.iter_mut().for_each(|m| *m = u64::MAX);
         }
         self.spill = 0;
+    }
+
+    fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        // Registration is idempotent by name, so every per-bank tracker
+        // shares the same aggregate counters.
+        self.installs = telemetry.counter("hrt.installs");
+        self.evicts = telemetry.counter("hrt.evicts");
+        self.cat_relocations = telemetry.counter("cat.relocations");
+        self.telemetry = telemetry.clone();
     }
 }
 

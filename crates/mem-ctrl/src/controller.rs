@@ -14,6 +14,7 @@ use rrs_dram::bank::Bank;
 use rrs_dram::geometry::{DramGeometry, RowAddr};
 use rrs_dram::hammer::{BitFlip, HammerConfig, HammerModel};
 use rrs_dram::timing::{Cycle, TimingParams};
+use rrs_telemetry::{Counter, Event, Series, Telemetry};
 
 use crate::mapping::AddressMapper;
 use crate::mitigation::{Mitigation, MitigationAction};
@@ -145,6 +146,46 @@ impl ControllerStats {
     }
 }
 
+/// The controller's registry handles: one [`Counter`]/[`Series`] per field
+/// of [`ControllerStats`], registered under `ctrl.*` names. Holding the
+/// handles keeps the hot path at one `Cell` store per bump — no registry
+/// lookup.
+struct CtrlMetrics {
+    reads: Counter,
+    writes: Counter,
+    activations: Counter,
+    row_hits: Counter,
+    swaps: Counter,
+    unswaps: Counter,
+    targeted_refreshes: Counter,
+    full_refreshes: Counter,
+    mitigation_delay_cycles: Counter,
+    swap_busy_cycles: Counter,
+    epochs_completed: Counter,
+    epoch_swap_history: Series,
+    epoch_hot_row_history: Series,
+}
+
+impl CtrlMetrics {
+    fn register(tel: &Telemetry) -> Self {
+        CtrlMetrics {
+            reads: tel.counter("ctrl.reads"),
+            writes: tel.counter("ctrl.writes"),
+            activations: tel.counter("ctrl.activations"),
+            row_hits: tel.counter("ctrl.row_hits"),
+            swaps: tel.counter("ctrl.swaps"),
+            unswaps: tel.counter("ctrl.unswaps"),
+            targeted_refreshes: tel.counter("ctrl.targeted_refreshes"),
+            full_refreshes: tel.counter("ctrl.full_refreshes"),
+            mitigation_delay_cycles: tel.counter("ctrl.mitigation_delay_cycles"),
+            swap_busy_cycles: tel.counter("ctrl.swap_busy_cycles"),
+            epochs_completed: tel.counter("ctrl.epochs_completed"),
+            epoch_swap_history: tel.series("ctrl.epoch_swap_history"),
+            epoch_hot_row_history: tel.series("ctrl.epoch_hot_row_history"),
+        }
+    }
+}
+
 /// The memory controller.
 pub struct MemoryController {
     config: ControllerConfig,
@@ -158,7 +199,8 @@ pub struct MemoryController {
     next_refresh: Cycle,
     next_epoch: Cycle,
     epoch_swaps: u64,
-    stats: ControllerStats,
+    telemetry: Telemetry,
+    metrics: CtrlMetrics,
     /// Reused mitigation-action buffer: activations are the hot path, and
     /// most produce no actions, so allocating a fresh `Vec` each time is
     /// pure overhead.
@@ -166,12 +208,27 @@ pub struct MemoryController {
 }
 
 impl MemoryController {
-    /// Creates a controller driving `mitigation`.
+    /// Creates a controller driving `mitigation`, with a private telemetry
+    /// spine (metrics only, no event probes).
     pub fn new(config: ControllerConfig, mitigation: Box<dyn Mitigation>) -> Self {
+        Self::with_telemetry(config, mitigation, Telemetry::new())
+    }
+
+    /// Creates a controller publishing onto `telemetry`: all `ctrl.*`
+    /// counters register there, events are emitted when it is tracing, and
+    /// the mitigation gets [`Mitigation::attach_telemetry`] so its inner
+    /// structures (trackers, RIT, CAT) share the same spine.
+    pub fn with_telemetry(
+        config: ControllerConfig,
+        mut mitigation: Box<dyn Mitigation>,
+        telemetry: Telemetry,
+    ) -> Self {
         let banks = (0..config.geometry.total_banks())
             .map(|_| Bank::new(config.timing))
             .collect();
         let hammer = HammerModel::new(config.hammer.clone(), config.geometry);
+        mitigation.attach_telemetry(&telemetry);
+        let metrics = CtrlMetrics::register(&telemetry);
         MemoryController {
             mapper: AddressMapper::new(config.geometry),
             banks,
@@ -182,7 +239,8 @@ impl MemoryController {
             next_refresh: config.timing.t_refi,
             next_epoch: config.timing.epoch,
             epoch_swaps: 0,
-            stats: ControllerStats::default(),
+            telemetry,
+            metrics,
             action_scratch: Vec::new(),
             mitigation,
             config,
@@ -204,15 +262,63 @@ impl MemoryController {
         self.mitigation.name()
     }
 
-    /// Accumulated statistics.
-    pub fn stats(&self) -> &ControllerStats {
-        &self.stats
+    /// The telemetry spine this controller publishes on.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
-    /// Takes the accumulated statistics, leaving an empty block behind —
-    /// end-of-run consumers use this to avoid cloning the epoch histories.
+    /// Accumulated statistics, snapshotted from the telemetry registry.
+    /// The returned block carries exactly the values the bespoke
+    /// `ControllerStats` fields used to accumulate.
+    pub fn stats(&self) -> ControllerStats {
+        let m = &self.metrics;
+        ControllerStats {
+            reads: m.reads.get(),
+            writes: m.writes.get(),
+            activations: m.activations.get(),
+            row_hits: m.row_hits.get(),
+            swaps: m.swaps.get(),
+            unswaps: m.unswaps.get(),
+            targeted_refreshes: m.targeted_refreshes.get(),
+            full_refreshes: m.full_refreshes.get(),
+            mitigation_delay_cycles: m.mitigation_delay_cycles.get(),
+            swap_busy_cycles: m.swap_busy_cycles.get(),
+            epochs_completed: m.epochs_completed.get(),
+            epoch_swap_history: m.epoch_swap_history.values(),
+            epoch_hot_row_history: m
+                .epoch_hot_row_history
+                .values()
+                .into_iter()
+                .map(|v| v as usize)
+                .collect(),
+        }
+    }
+
+    /// Takes the accumulated statistics, resetting the controller's
+    /// registry metrics — end-of-run consumers use this to drain the epoch
+    /// histories without cloning.
     pub fn take_stats(&mut self) -> ControllerStats {
-        std::mem::take(&mut self.stats)
+        let m = &self.metrics;
+        ControllerStats {
+            reads: m.reads.take(),
+            writes: m.writes.take(),
+            activations: m.activations.take(),
+            row_hits: m.row_hits.take(),
+            swaps: m.swaps.take(),
+            unswaps: m.unswaps.take(),
+            targeted_refreshes: m.targeted_refreshes.take(),
+            full_refreshes: m.full_refreshes.take(),
+            mitigation_delay_cycles: m.mitigation_delay_cycles.take(),
+            swap_busy_cycles: m.swap_busy_cycles.take(),
+            epochs_completed: m.epochs_completed.take(),
+            epoch_swap_history: m.epoch_swap_history.take(),
+            epoch_hot_row_history: m
+                .epoch_hot_row_history
+                .take()
+                .into_iter()
+                .map(|v| v as usize)
+                .collect(),
+        }
     }
 
     /// The fault model (read access).
@@ -274,21 +380,29 @@ impl MemoryController {
         if will_activate {
             let prospective = self.bank_mut(physical).earliest_activate(start);
             delay = self.mitigation.activation_delay(logical, prospective);
-            self.stats.mitigation_delay_cycles += delay;
+            self.metrics.mitigation_delay_cycles.add(delay);
         }
 
         let outcome = self
             .bank_mut(physical)
             .access(physical.row, is_write, start);
         if is_write {
-            self.stats.writes += 1;
+            self.metrics.writes.inc();
         } else {
-            self.stats.reads += 1;
+            self.metrics.reads.inc();
         }
 
         if let Some(at) = outcome.activated_at {
             let at = at + delay;
-            self.stats.activations += 1;
+            self.metrics.activations.inc();
+            if self.telemetry.tracing() {
+                self.telemetry.set_now(at);
+                self.telemetry.emit(Event::Activation {
+                    at,
+                    bank: physical.bank_index(&self.config.geometry) as u64,
+                    row: physical.row.0 as u64,
+                });
+            }
             self.hammer.record_activation(physical);
             let mut actions = std::mem::take(&mut self.action_scratch);
             actions.clear();
@@ -296,7 +410,7 @@ impl MemoryController {
             self.execute_actions(&actions, at);
             self.action_scratch = actions;
         } else {
-            self.stats.row_hits += 1;
+            self.metrics.row_hits.inc();
         }
 
         if self.config.page_policy == PagePolicy::Closed {
@@ -346,6 +460,9 @@ impl MemoryController {
 
     fn do_refresh(&mut self) {
         let end = self.next_refresh + self.config.timing.t_rfc;
+        self.telemetry.emit(Event::Refresh {
+            at: self.next_refresh,
+        });
         // Banks are laid out `((channel * ranks) + rank) * banks_per_rank +
         // bank`, so walking the vector in order visits each rank's bank 0
         // exactly when `i % banks_per_rank == 0`.
@@ -361,11 +478,11 @@ impl MemoryController {
 
     fn end_epoch(&mut self) {
         let at = self.next_epoch.min(self.clock.max(self.next_epoch));
-        self.stats.epoch_hot_row_history.push(
+        self.metrics.epoch_hot_row_history.push(
             self.hammer
-                .rows_with_activations_at_least(self.config.act_stat_threshold),
+                .rows_with_activations_at_least(self.config.act_stat_threshold) as u64,
         );
-        self.stats
+        self.metrics
             .epoch_swap_history
             .push(std::mem::take(&mut self.epoch_swaps));
         self.hammer.end_epoch();
@@ -377,7 +494,13 @@ impl MemoryController {
         for b in &mut self.banks {
             b.begin_epoch();
         }
-        self.stats.epochs_completed += 1;
+        let epoch = self.metrics.epochs_completed.get();
+        self.metrics.epochs_completed.inc();
+        if self.telemetry.tracing() {
+            self.telemetry.set_now(at);
+            self.telemetry.emit(Event::EpochRollover { at, epoch });
+            self.telemetry.sample_epoch(epoch, at);
+        }
         self.next_epoch += self.config.timing.epoch;
     }
 
@@ -388,7 +511,11 @@ impl MemoryController {
                     if self.config.geometry.contains(victim) {
                         self.bank_mut(victim).targeted_refresh(at);
                         self.hammer.record_targeted_refresh(victim);
-                        self.stats.targeted_refreshes += 1;
+                        self.metrics.targeted_refreshes.inc();
+                        self.telemetry.emit(Event::TargetedRefresh {
+                            at,
+                            row: victim.row.0 as u64,
+                        });
                     }
                 }
                 MitigationAction::RowSwap { a, b } | MitigationAction::RowUnswap { a, b } => {
@@ -411,12 +538,33 @@ impl MemoryController {
                         self.hammer.record_activation(row);
                         self.hammer.record_activation(row);
                     }
-                    self.stats.swap_busy_cycles += cost;
+                    self.metrics.swap_busy_cycles.add(cost);
                     if is_swap {
-                        self.stats.swaps += 1;
+                        self.metrics.swaps.inc();
                         self.epoch_swaps += 1;
                     } else {
-                        self.stats.unswaps += 1;
+                        self.metrics.unswaps.inc();
+                    }
+                    if self.telemetry.tracing() {
+                        let (row_a, row_b) = (a.row.0 as u64, b.row.0 as u64);
+                        if is_swap {
+                            self.telemetry.emit(Event::SwapStart {
+                                at: start,
+                                row_a,
+                                row_b,
+                            });
+                            self.telemetry.emit(Event::SwapDone {
+                                at: end,
+                                row_a,
+                                row_b,
+                            });
+                        } else {
+                            self.telemetry.emit(Event::Unswap {
+                                at: start,
+                                row_a,
+                                row_b,
+                            });
+                        }
                     }
                 }
                 MitigationAction::FullRefresh => {
@@ -431,7 +579,8 @@ impl MemoryController {
                     for ch in &mut self.channel_blocked {
                         *ch = (*ch).max(end);
                     }
-                    self.stats.full_refreshes += 1;
+                    self.metrics.full_refreshes.inc();
+                    self.telemetry.emit(Event::FullRefresh { at });
                 }
             }
         }
@@ -443,7 +592,7 @@ impl std::fmt::Debug for MemoryController {
         f.debug_struct("MemoryController")
             .field("mitigation", &self.mitigation.name())
             .field("clock", &self.clock)
-            .field("stats", &self.stats)
+            .field("stats", &self.stats())
             .finish_non_exhaustive()
     }
 }

@@ -16,6 +16,7 @@
 
 use rrs_dram::geometry::RowAddr;
 use rrs_dram::timing::Cycle;
+use rrs_telemetry::Telemetry;
 
 /// A physical operation requested by a mitigation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,6 +75,14 @@ pub trait Mitigation {
     /// Notification of an epoch (refresh-window) boundary at `now`.
     fn on_epoch_end(&mut self, now: Cycle, actions: &mut Vec<MitigationAction>) {
         let _ = (now, actions);
+    }
+
+    /// Called once when a controller adopts this mitigation: register
+    /// counters and event probes on the shared telemetry spine. Defenses
+    /// with internal structure (RRS's trackers, RIT, and CAT) forward the
+    /// handle inward; the default keeps simple defenses unobserved.
+    fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        let _ = telemetry;
     }
 }
 

@@ -21,6 +21,7 @@ use std::collections::VecDeque;
 use rrs_dram::bank::Bank;
 use rrs_dram::geometry::DramGeometry;
 use rrs_dram::timing::{Cycle, TimingParams};
+use rrs_telemetry::{Counter, Event, Telemetry};
 
 use crate::mapping::{AddressMapper, DecodedAddr};
 
@@ -65,17 +66,31 @@ pub struct QueuedController {
     bus_free: Vec<Cycle>,
     completions: Vec<Completion>,
     queue_capacity: usize,
-    row_hits: u64,
-    activations: u64,
+    telemetry: Telemetry,
+    row_hits: Counter,
+    activations: Counter,
+    stalls: Counter,
 }
 
 impl QueuedController {
-    /// Creates a controller.
+    /// Creates a controller with a private telemetry spine.
     pub fn new(
         geometry: DramGeometry,
         timing: TimingParams,
         policy: SchedPolicy,
         queue_capacity: usize,
+    ) -> Self {
+        Self::with_telemetry(geometry, timing, policy, queue_capacity, Telemetry::new())
+    }
+
+    /// Creates a controller publishing `sched.*` counters (and
+    /// [`Event::SchedulerStall`] events, when tracing) on `telemetry`.
+    pub fn with_telemetry(
+        geometry: DramGeometry,
+        timing: TimingParams,
+        policy: SchedPolicy,
+        queue_capacity: usize,
+        telemetry: Telemetry,
     ) -> Self {
         QueuedController {
             mapper: AddressMapper::new(geometry),
@@ -86,8 +101,10 @@ impl QueuedController {
             bus_free: vec![0; geometry.channels],
             completions: Vec::new(),
             queue_capacity: queue_capacity.max(1),
-            row_hits: 0,
-            activations: 0,
+            row_hits: telemetry.counter("sched.row_hits"),
+            activations: telemetry.counter("sched.activations"),
+            stalls: telemetry.counter("sched.stalls"),
+            telemetry,
             geometry,
             timing,
             policy,
@@ -101,21 +118,26 @@ impl QueuedController {
 
     /// Row-buffer hits served so far.
     pub fn row_hits(&self) -> u64 {
-        self.row_hits
+        self.row_hits.get()
     }
 
     /// Activations issued so far.
     pub fn activations(&self) -> u64 {
-        self.activations
+        self.activations.get()
+    }
+
+    /// Submissions rejected because the target channel queue was full.
+    pub fn stalls(&self) -> u64 {
+        self.stalls.get()
     }
 
     /// Row-buffer hit rate.
     pub fn hit_rate(&self) -> f64 {
-        let total = self.row_hits + self.activations;
+        let total = self.row_hits() + self.activations();
         if total == 0 {
             0.0
         } else {
-            self.row_hits as f64 / total as f64
+            self.row_hits() as f64 / total as f64
         }
     }
 
@@ -128,6 +150,14 @@ impl QueuedController {
             return false;
         };
         if q.len() >= self.queue_capacity {
+            self.stalls.inc();
+            if self.telemetry.tracing() {
+                let queued = self.queued() as u64;
+                self.telemetry.emit(Event::SchedulerStall {
+                    at: arrival,
+                    queued,
+                });
+            }
             return false;
         }
         q.push_back(Pending {
@@ -204,9 +234,9 @@ impl QueuedController {
         };
         let outcome = bank.access(p.decoded.row.row, p.is_write, p.arrival);
         if outcome.row_hit {
-            self.row_hits += 1;
+            self.row_hits.inc();
         } else {
-            self.activations += 1;
+            self.activations.inc();
         }
         let data = outcome
             .data_at

@@ -66,6 +66,10 @@ impl Mitigation for RrsMitigation {
     fn on_epoch_end(&mut self, _now: Cycle, _actions: &mut Vec<MitigationAction>) {
         self.engine.end_epoch();
     }
+
+    fn attach_telemetry(&mut self, telemetry: &rrs_telemetry::Telemetry) {
+        self.engine.attach_telemetry(telemetry);
+    }
 }
 
 #[cfg(test)]

@@ -44,6 +44,7 @@ use std::time::Instant;
 use rrs_core::rng::mix_seed;
 use rrs_json::{FromJson, Json, ToJson};
 use rrs_sim::SimResult;
+use rrs_telemetry::Telemetry;
 use rrs_workloads::attacks::AttackKind;
 use rrs_workloads::catalog::Workload;
 
@@ -125,12 +126,19 @@ impl Cell {
 
     /// Runs the cell's simulation (synchronously, on the calling thread).
     pub fn execute(&self) -> SimResult {
+        self.execute_probed(&Telemetry::new())
+    }
+
+    /// Runs the cell's simulation with every layer publishing on a
+    /// caller-held telemetry spine. The [`SimResult`] is byte-identical to
+    /// [`Cell::execute`]'s — observation must not perturb the experiment.
+    pub fn execute_probed(&self, telemetry: &Telemetry) -> SimResult {
         let mut cfg = self.config;
         cfg.seed = self.trace_seed();
         match self.action {
-            CellAction::Workload(w) => cfg.run_workload(&w, self.mitigation),
+            CellAction::Workload(w) => cfg.run_workload_probed(&w, self.mitigation, telemetry),
             CellAction::Attack { kind, epochs } => {
-                let outcome = cfg.run_attack(kind, self.mitigation, epochs);
+                let outcome = cfg.run_attack_probed(kind, self.mitigation, epochs, telemetry);
                 let mut result = outcome.result;
                 // `run_attack` drains the flips into the outcome; restore
                 // them so the serialized cell is self-contained.
@@ -154,6 +162,12 @@ pub struct RunOptions {
     pub force: bool,
     /// Suppress the per-cell progress lines on stderr.
     pub quiet: bool,
+    /// Capture per-cell telemetry: each cell runs on a tracing spine, its
+    /// counters and event-trace summary land in [`CellOutcome::telemetry`],
+    /// and with [`RunOptions::out_dir`] set the JSON-lines trace is written
+    /// to `<id>.trace.jsonl`. Tracing implies a fresh simulation — cached
+    /// result files are ignored (they carry no telemetry).
+    pub trace: bool,
 }
 
 impl RunOptions {
@@ -174,6 +188,12 @@ impl RunOptions {
     /// Uses exactly `n` worker threads.
     pub fn with_threads(mut self, n: usize) -> Self {
         self.threads = Some(n.max(1));
+        self
+    }
+
+    /// Enables per-cell telemetry capture (see [`RunOptions::trace`]).
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
         self
     }
 
@@ -338,6 +358,37 @@ pub struct CellOutcome {
     pub from_cache: bool,
     /// Wall-clock seconds spent on this cell (load or simulate).
     pub seconds: f64,
+    /// Telemetry captured for this cell (only with [`RunOptions::trace`]).
+    pub telemetry: Option<CellTelemetry>,
+}
+
+/// Telemetry captured for one traced cell: the registry counters plus the
+/// event-trace summary and JSON-lines export.
+#[derive(Debug, Clone)]
+pub struct CellTelemetry {
+    /// Every registered counter's final value, in registration order.
+    pub counters: Vec<(String, u64)>,
+    /// Events the trace recorder observed.
+    pub events_recorded: u64,
+    /// Events evicted once the bounded ring filled (oldest first).
+    pub events_dropped: u64,
+    /// Retained event counts per kind.
+    pub kind_counts: Vec<(&'static str, u64)>,
+    /// The retained event window as JSON lines.
+    pub trace_jsonl: String,
+}
+
+impl CellTelemetry {
+    /// Captures the spine's state after a cell finished.
+    fn capture(telemetry: &Telemetry) -> Self {
+        CellTelemetry {
+            counters: telemetry.counters(),
+            events_recorded: telemetry.events_recorded(),
+            events_dropped: telemetry.events_dropped(),
+            kind_counts: telemetry.event_kind_counts(),
+            trace_jsonl: telemetry.trace_jsonl().unwrap_or_default(),
+        }
+    }
 }
 
 /// Results of [`Campaign::run`], indexed like the campaign's cells.
@@ -377,6 +428,42 @@ impl CampaignRun {
     pub fn is_empty(&self) -> bool {
         self.outcomes.is_empty()
     }
+
+    /// Campaign-wide telemetry counters: each counter name summed across
+    /// every traced cell, in first-seen order. Empty unless the run used
+    /// [`RunOptions::trace`].
+    pub fn merged_counters(&self) -> Vec<(String, u64)> {
+        let mut order: Vec<String> = Vec::new();
+        let mut totals: BTreeMap<String, u64> = BTreeMap::new();
+        for outcome in &self.outcomes {
+            let Some(tel) = &outcome.telemetry else {
+                continue;
+            };
+            for (name, value) in &tel.counters {
+                if !totals.contains_key(name) {
+                    order.push(name.clone());
+                }
+                *totals.entry(name.clone()).or_insert(0) += value;
+            }
+        }
+        order
+            .into_iter()
+            .map(|name| {
+                let v = totals.get(&name).copied().unwrap_or(0);
+                (name, v)
+            })
+            .collect()
+    }
+
+    /// Total events recorded (and dropped) across every traced cell.
+    pub fn merged_event_totals(&self) -> (u64, u64) {
+        self.outcomes
+            .iter()
+            .filter_map(|o| o.telemetry.as_ref())
+            .fold((0, 0), |(r, d), t| {
+                (r + t.events_recorded, d + t.events_dropped)
+            })
+    }
 }
 
 /// Executes (or cache-loads) one cell according to `opts`.
@@ -385,7 +472,8 @@ fn run_cell(cell: &Cell, opts: &RunOptions) -> CellOutcome {
     let start = Instant::now();
     let path = opts.out_dir.as_ref().map(|d| d.join(format!("{id}.json")));
 
-    if !opts.force {
+    // Cached results carry no telemetry, so a tracing run always simulates.
+    if !opts.force && !opts.trace {
         if let Some(path) = &path {
             if let Ok(text) = std::fs::read_to_string(path) {
                 // A corrupt or stale-schema file falls through to a fresh
@@ -397,6 +485,7 @@ fn run_cell(cell: &Cell, opts: &RunOptions) -> CellOutcome {
                             result,
                             from_cache: true,
                             seconds: start.elapsed().as_secs_f64(),
+                            telemetry: None,
                         };
                     }
                 }
@@ -404,7 +493,19 @@ fn run_cell(cell: &Cell, opts: &RunOptions) -> CellOutcome {
         }
     }
 
-    let result = cell.execute();
+    let (result, telemetry) = if opts.trace {
+        let spine = Telemetry::with_trace(rrs_telemetry::DEFAULT_TRACE_CAPACITY);
+        let result = cell.execute_probed(&spine);
+        let captured = CellTelemetry::capture(&spine);
+        if let Some(dir) = &opts.out_dir {
+            let trace_path = dir.join(format!("{id}.trace.jsonl"));
+            std::fs::write(&trace_path, &captured.trace_jsonl)
+                .unwrap_or_else(|e| panic!("campaign: cannot write {}: {e}", trace_path.display()));
+        }
+        (result, Some(captured))
+    } else {
+        (cell.execute(), None)
+    };
     if let Some(path) = &path {
         std::fs::write(path, result.to_json().to_string_pretty())
             .unwrap_or_else(|e| panic!("campaign: cannot write {}: {e}", path.display()));
@@ -414,6 +515,7 @@ fn run_cell(cell: &Cell, opts: &RunOptions) -> CellOutcome {
         result,
         from_cache: false,
         seconds: start.elapsed().as_secs_f64(),
+        telemetry,
     }
 }
 

@@ -18,8 +18,9 @@ use rrs_dram::timing::TimingParams;
 use rrs_mem_ctrl::controller::ControllerConfig;
 use rrs_mem_ctrl::mitigation::Mitigation;
 use rrs_sim::config::SystemConfig;
-use rrs_sim::runner::{run_with, SimResult};
+use rrs_sim::runner::{run_probed, SimResult};
 use rrs_sim::trace::TraceSource;
+use rrs_telemetry::Telemetry;
 use rrs_workloads::attacks::{Attack, AttackKind, IdleFiller};
 use rrs_workloads::catalog::Workload;
 use rrs_workloads::generator::sources_for_workload;
@@ -169,12 +170,24 @@ impl ExperimentConfig {
 
     /// Runs a benign workload under a mitigation.
     pub fn run_workload(&self, workload: &Workload, kind: MitigationKind) -> SimResult {
+        self.run_workload_probed(workload, kind, &Telemetry::new())
+    }
+
+    /// [`ExperimentConfig::run_workload`] with every layer publishing on
+    /// a caller-held telemetry spine; the result is byte-identical.
+    pub fn run_workload_probed(
+        &self,
+        workload: &Workload,
+        kind: MitigationKind,
+        telemetry: &Telemetry,
+    ) -> SimResult {
         let sys = self.system_config();
-        run_with(
+        run_probed(
             &sys,
-            || self.build_mitigation(kind),
-            || sources_for_workload(workload, &sys, self.seed),
+            self.build_mitigation(kind),
+            sources_for_workload(workload, &sys, self.seed),
             workload.name(),
+            telemetry,
         )
     }
 
@@ -185,6 +198,18 @@ impl ExperimentConfig {
         attack: AttackKind,
         kind: MitigationKind,
         epochs: u64,
+    ) -> AttackOutcome {
+        self.run_attack_probed(attack, kind, epochs, &Telemetry::new())
+    }
+
+    /// [`ExperimentConfig::run_attack`] with every layer publishing on a
+    /// caller-held telemetry spine; the outcome is byte-identical.
+    pub fn run_attack_probed(
+        &self,
+        attack: AttackKind,
+        kind: MitigationKind,
+        epochs: u64,
+        telemetry: &Telemetry,
     ) -> AttackOutcome {
         let mut sys = self.system_config();
         let timing = sys.controller.timing;
@@ -198,21 +223,12 @@ impl ExperimentConfig {
         // per aggressor, then move to the next victim group. Half-Double
         // and the randomized patterns keep their defining concentration.
         let rotation = 8 * self.t_rh();
-        let seed = self.seed;
-        let cores = sys.cores;
-        let mut result = run_with(
-            &sys,
-            || self.build_mitigation(kind),
-            move || {
-                let attacker = Attack::new(attack, mapper, seed).with_rotation(rotation);
-                let mut sources: Vec<Box<dyn TraceSource>> = vec![Box::new(attacker)];
-                for c in 1..cores {
-                    sources.push(Box::new(IdleFiller::new(c)));
-                }
-                sources
-            },
-            &name,
-        );
+        let attacker = Attack::new(attack, mapper, self.seed).with_rotation(rotation);
+        let mut sources: Vec<Box<dyn TraceSource>> = vec![Box::new(attacker)];
+        for c in 1..sys.cores {
+            sources.push(Box::new(IdleFiller::new(c)));
+        }
+        let mut result = run_probed(&sys, self.build_mitigation(kind), sources, &name, telemetry);
         // The flips are *moved* into the outcome (not cloned): read them
         // from `outcome.bit_flips`, not `outcome.result.bit_flips`.
         AttackOutcome {

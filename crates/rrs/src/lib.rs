@@ -16,6 +16,8 @@
 //! * [`mitigations`] — RRS and every baseline (BlockHammer, victim-focused
 //!   refresh, PARA, probabilistic RRS);
 //! * [`analysis`] — the security/storage/power analytic models;
+//! * [`telemetry`] — the observability spine (counters, structured events,
+//!   bounded trace recording) threaded through every layer above;
 //! * [`experiments`] — the shared harness used by `examples/`, `tests/`,
 //!   and the `bench` crate to regenerate the paper's tables and figures;
 //! * [`campaign`] — the declarative parallel grid runner those harnesses
@@ -42,6 +44,7 @@ pub use rrs_dram as dram;
 pub use rrs_mem_ctrl as mem_ctrl;
 pub use rrs_mitigations as mitigations;
 pub use rrs_sim as sim;
+pub use rrs_telemetry as telemetry;
 pub use rrs_workloads as workloads;
 
 pub use rrs_mem_ctrl::mitigation::Mitigation;

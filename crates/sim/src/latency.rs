@@ -7,7 +7,10 @@
 
 use rrs_dram::timing::Cycle;
 
-const BUCKETS: usize = 40;
+/// Number of log₂ buckets — the same layout as
+/// `rrs_telemetry::HISTOGRAM_BUCKETS`, so a telemetry histogram snapshot
+/// converts into a `LatencyStats` by a plain field copy.
+pub const BUCKETS: usize = 40;
 
 /// Log₂-bucketed latency histogram.
 #[derive(Debug, Clone)]
@@ -26,6 +29,18 @@ impl LatencyStats {
             count: 0,
             sum: 0,
             max: 0,
+        }
+    }
+
+    /// Rebuilds a histogram from raw parts (a registry snapshot). The
+    /// bucket layout must match [`BUCKETS`] log₂ buckets as produced by
+    /// [`LatencyStats::record`].
+    pub fn from_parts(buckets: [u64; BUCKETS], count: u64, sum: u128, max: Cycle) -> Self {
+        LatencyStats {
+            buckets,
+            count,
+            sum,
+            max,
         }
     }
 
@@ -61,7 +76,10 @@ impl LatencyStats {
 
     /// Estimates the `q`-quantile (0 < q ≤ 1) as the upper edge of the
     /// bucket containing it — a ≤2× overestimate by construction, which is
-    /// the right direction for tail-latency claims.
+    /// the right direction for tail-latency claims. When the quantile
+    /// lands in the saturated top bucket (samples of 2³⁹ cycles or more,
+    /// whose upper edge is unbounded), the observed maximum is reported
+    /// instead.
     ///
     /// # Panics
     ///
@@ -76,7 +94,14 @@ impl LatencyStats {
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= target {
-                return if i >= 63 { Cycle::MAX } else { (1 << i) - 1 };
+                // The last bucket holds everything that saturated the
+                // log₂ range; `(1 << i) - 1` would claim a fictitious
+                // ~18-minute edge, so report what was actually seen.
+                return if i == BUCKETS - 1 {
+                    self.max
+                } else {
+                    (1 << i) - 1
+                };
             }
         }
         self.max
@@ -197,6 +222,32 @@ mod tests {
     #[should_panic(expected = "quantile out of range")]
     fn zero_quantile_panics() {
         LatencyStats::new().quantile(0.0);
+    }
+
+    #[test]
+    fn saturated_top_bucket_reports_observed_max() {
+        let mut h = LatencyStats::new();
+        h.record(1 << 50); // lands in the last bucket
+        h.record(1 << 45);
+        assert_eq!(h.p50(), 1 << 50, "top-bucket quantiles are the max");
+        assert_eq!(h.p99(), 1 << 50);
+        // Quantiles below the top bucket are unaffected.
+        h.record(100);
+        h.record(100);
+        h.record(100);
+        assert!(h.p50() < 256);
+    }
+
+    #[test]
+    fn from_parts_round_trips_record() {
+        let mut h = LatencyStats::new();
+        for v in [3u64, 900, 1 << 20] {
+            h.record(v);
+        }
+        let rebuilt = LatencyStats::from_parts(h.buckets, h.count, h.sum, h.max);
+        assert_eq!(rebuilt.count(), h.count());
+        assert_eq!(rebuilt.mean(), h.mean());
+        assert_eq!(rebuilt.p99(), h.p99());
     }
 
     #[test]

@@ -5,6 +5,12 @@
 //! (like USIMM's), so the LLC is optional in the simulator — but attack
 //! traces and raw-address workloads can run through it to model cache
 //! filtering and write-back traffic.
+//!
+//! Hit/miss accounting lives on the telemetry spine (`llc.hits` /
+//! `llc.misses` counters, plus per-access events when tracing); cloning an
+//! [`Llc`] therefore shares its counters with the clone.
+
+use rrs_telemetry::{Counter, Event, Telemetry};
 
 /// LLC configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,17 +78,29 @@ pub struct Llc {
     sets: usize,
     lines: Vec<Line>,
     stamp: u64,
-    hits: u64,
-    misses: u64,
+    telemetry: Telemetry,
+    hits: Counter,
+    misses: Counter,
 }
 
 impl Llc {
-    /// Creates an empty cache.
+    /// Creates an empty cache with a private telemetry spine.
     ///
     /// # Panics
     ///
     /// Panics if the set count is not a power of two.
     pub fn new(config: LlcConfig) -> Self {
+        Self::with_telemetry(config, Telemetry::new())
+    }
+
+    /// Creates an empty cache publishing `llc.*` counters (and
+    /// [`Event::LlcHit`] / [`Event::LlcMiss`] events, when tracing) on
+    /// `telemetry`. Events are stamped with the spine's shared clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set count is not a power of two.
+    pub fn with_telemetry(config: LlcConfig, telemetry: Telemetry) -> Self {
         let sets = config.sets();
         assert!(sets.is_power_of_two(), "LLC sets must be a power of two");
         Llc {
@@ -98,8 +116,9 @@ impl Llc {
                 sets * config.ways
             ],
             stamp: 0,
-            hits: 0,
-            misses: 0,
+            hits: telemetry.counter("llc.hits"),
+            misses: telemetry.counter("llc.misses"),
+            telemetry,
         }
     }
 
@@ -110,21 +129,21 @@ impl Llc {
 
     /// Hits so far.
     pub fn hits(&self) -> u64 {
-        self.hits
+        self.hits.get()
     }
 
     /// Misses so far.
     pub fn misses(&self) -> u64 {
-        self.misses
+        self.misses.get()
     }
 
     /// Hit rate over all accesses.
     pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
+        let total = self.hits() + self.misses();
         if total == 0 {
             0.0
         } else {
-            self.hits as f64 / total as f64
+            self.hits() as f64 / total as f64
         }
     }
 
@@ -147,13 +166,21 @@ impl Llc {
         if let Some(line) = ways.iter_mut().find(|l| l.valid && l.tag == tag) {
             line.lru = self.stamp;
             line.dirty |= is_write;
-            self.hits += 1;
+            self.hits.inc();
+            if self.telemetry.tracing() {
+                let at = self.telemetry.now();
+                self.telemetry.emit(Event::LlcHit { at, addr });
+            }
             return LlcOutcome {
                 hit: true,
                 writeback: None,
             };
         }
-        self.misses += 1;
+        self.misses.inc();
+        if self.telemetry.tracing() {
+            let at = self.telemetry.now();
+            self.telemetry.emit(Event::LlcMiss { at, addr });
+        }
         // Victim: invalid way if any, else LRU.
         let Some(v) = ways
             .iter_mut()

@@ -17,6 +17,7 @@ use rrs_dram::power::{DramPowerModel, PowerReport};
 use rrs_dram::timing::Cycle;
 use rrs_mem_ctrl::controller::{ControllerStats, MemoryController};
 use rrs_mem_ctrl::mitigation::Mitigation;
+use rrs_telemetry::Telemetry;
 
 use crate::config::SystemConfig;
 use crate::latency::LatencyStats;
@@ -82,35 +83,30 @@ impl SimResult {
     /// `Σᵢ IPCᵢ / IPCᵢ_baseline` — the standard multiprogrammed
     /// throughput metric (equals core count when nothing slowed down).
     ///
-    /// # Panics
-    ///
-    /// Panics if the runs have different core counts.
-    pub fn weighted_speedup(&self, baseline: &SimResult) -> f64 {
-        assert_eq!(
-            self.core_ipc.len(),
-            baseline.core_ipc.len(),
-            "core counts differ"
-        );
-        self.core_ipc
-            .iter()
-            .zip(&baseline.core_ipc)
-            .map(|(a, b)| if *b > 0.0 { a / b } else { 0.0 })
-            .sum()
+    /// Returns `None` when the runs have different core counts (a
+    /// per-core metric is meaningless across mismatched configurations).
+    pub fn weighted_speedup(&self, baseline: &SimResult) -> Option<f64> {
+        if self.core_ipc.len() != baseline.core_ipc.len() {
+            return None;
+        }
+        Some(
+            self.core_ipc
+                .iter()
+                .zip(&baseline.core_ipc)
+                .map(|(a, b)| if *b > 0.0 { a / b } else { 0.0 })
+                .sum(),
+        )
     }
 
     /// Fairness vs a baseline run: `min slowdown / max slowdown` over
     /// cores (1.0 = perfectly fair, → 0 when one core is starved — the
     /// §8.1 denial-of-service signature).
     ///
-    /// # Panics
-    ///
-    /// Panics if the runs have different core counts.
-    pub fn fairness(&self, baseline: &SimResult) -> f64 {
-        assert_eq!(
-            self.core_ipc.len(),
-            baseline.core_ipc.len(),
-            "core counts differ"
-        );
+    /// Returns `None` when the runs have different core counts.
+    pub fn fairness(&self, baseline: &SimResult) -> Option<f64> {
+        if self.core_ipc.len() != baseline.core_ipc.len() {
+            return None;
+        }
         let ratios: Vec<f64> = self
             .core_ipc
             .iter()
@@ -119,11 +115,11 @@ impl SimResult {
             .collect();
         let max = ratios.iter().cloned().fold(0.0f64, f64::max);
         let min = ratios.iter().cloned().fold(f64::INFINITY, f64::min);
-        if max <= 0.0 || !min.is_finite() {
+        Some(if max <= 0.0 || !min.is_finite() {
             0.0
         } else {
             min / max
-        }
+        })
     }
 
     /// DRAM power report for this run.
@@ -205,23 +201,62 @@ pub fn run_with<'a>(
 
 /// Runs one simulation: `sources[i]` drives core `i`.
 ///
+/// Equivalent to [`run_probed`] with a fresh, disabled telemetry spine:
+/// all accounting still flows through registry counters, but no events
+/// are recorded and no probes fire.
+///
 /// # Panics
 ///
 /// Panics if `sources.len()` differs from `config.cores`.
 pub fn run(
     config: &SystemConfig,
     mitigation: Box<dyn Mitigation>,
+    sources: Vec<Box<dyn TraceSource + '_>>,
+    workload_name: &str,
+) -> SimResult {
+    run_probed(
+        config,
+        mitigation,
+        sources,
+        workload_name,
+        &Telemetry::new(),
+    )
+}
+
+/// Runs one simulation with every layer publishing onto `telemetry`.
+///
+/// The controller, scheduler-equivalent access path, LLC, and the runner's
+/// own read-latency histogram all register on the shared spine; when the
+/// spine is tracing (a recorder or probe is attached), structured
+/// [`rrs_telemetry::Event`]s stream out as the simulation executes. The
+/// caller keeps the handle, so after this returns it can export
+/// `telemetry.snapshot_json()` or `telemetry.trace_jsonl()`.
+///
+/// The returned [`SimResult`] is byte-identical to [`run`]'s for the same
+/// inputs regardless of tracing state — observation must not perturb the
+/// experiment.
+///
+/// # Panics
+///
+/// Panics if `sources.len()` differs from `config.cores`.
+pub fn run_probed(
+    config: &SystemConfig,
+    mitigation: Box<dyn Mitigation>,
     mut sources: Vec<Box<dyn TraceSource + '_>>,
     workload_name: &str,
+    telemetry: &Telemetry,
 ) -> SimResult {
     assert_eq!(
         sources.len(),
         config.cores,
         "one trace source per core required"
     );
-    let mut mc = MemoryController::new(config.controller.clone(), mitigation);
+    let mut mc =
+        MemoryController::with_telemetry(config.controller.clone(), mitigation, telemetry.clone());
     let mitigation_name = mc.mitigation_name().to_string();
-    let mut llc = config.llc.map(Llc::new);
+    let mut llc = config
+        .llc
+        .map(|c| Llc::with_telemetry(c, telemetry.clone()));
 
     let mut cores: Vec<CoreState> = (0..config.cores)
         .map(|_| CoreState {
@@ -235,7 +270,7 @@ pub fn run(
     // Min-heap of (next event time, core id).
     let mut heap: BinaryHeap<Reverse<(Cycle, usize)>> =
         (0..config.cores).map(|i| Reverse((0, i))).collect();
-    let mut read_latency = LatencyStats::new();
+    let read_latency = telemetry.histogram("sim.read_latency");
 
     let burst = config.core_burst.max(1);
     while let Some(Reverse((_, cid))) = heap.pop() {
@@ -257,6 +292,9 @@ pub fn run(
             let mut to_dram = [(rec.addr, rec.is_write), (0, false)];
             let mut n_dram = 1;
             if let Some(llc) = llc.as_mut() {
+                if telemetry.tracing() {
+                    telemetry.set_now(core.time);
+                }
                 let out = llc.access(rec.addr, rec.is_write);
                 n_dram = 0;
                 if out.hit {
@@ -316,17 +354,27 @@ pub fn run(
     let bit_flips = mc.take_bit_flips();
     let command_counts = mc.command_counts();
 
+    // Snapshot (not drain) the registry: the caller's spine keeps the
+    // run's counters and histograms for inspection after `run_probed`
+    // returns. Reusing one spine across runs therefore accumulates; pass
+    // a fresh spine per run to keep observations separable.
+    let latency = read_latency.snapshot();
     SimResult {
         workload: workload_name.to_string(),
         mitigation: mitigation_name,
         core_ipc,
         total_instructions,
         cycles,
-        stats: mc.take_stats(),
+        stats: mc.stats(),
         bit_flips,
         command_counts,
         llc_hit_rate: llc.map(|l| l.hit_rate()),
-        read_latency,
+        read_latency: LatencyStats::from_parts(
+            latency.buckets,
+            latency.count,
+            latency.sum,
+            latency.max,
+        ),
     }
 }
 
@@ -417,8 +465,20 @@ mod tests {
         let mk = || vec![stream_source(64, 0), stream_source(64, 1 << 24)];
         let a = run(&config, Box::new(NoMitigation::new()), mk(), "a");
         let b = run(&config, Box::new(NoMitigation::new()), mk(), "b");
-        assert!((a.weighted_speedup(&b) - 2.0).abs() < 1e-9);
-        assert!((a.fairness(&b) - 1.0).abs() < 1e-9);
+        assert!((a.weighted_speedup(&b).unwrap() - 2.0).abs() < 1e-9);
+        assert!((a.fairness(&b).unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mismatched_core_counts_yield_none() {
+        let config = SystemConfig::test_config(3_000);
+        let sources = vec![stream_source(64, 0), stream_source(64, 1 << 24)];
+        let two_core = run(&config, Box::new(NoMitigation::new()), sources, "two");
+        let no_core = empty_result();
+        assert_eq!(two_core.weighted_speedup(&no_core), None);
+        assert_eq!(two_core.fairness(&no_core), None);
+        assert_eq!(no_core.weighted_speedup(&two_core), None);
+        assert_eq!(no_core.fairness(&two_core), None);
     }
 
     #[test]
@@ -436,12 +496,9 @@ mod tests {
             }),
         ];
         let skewed = run(&config, Box::new(NoMitigation::new()), slow, "skewed");
-        assert!(
-            skewed.fairness(&base) < 0.8,
-            "fairness = {}",
-            skewed.fairness(&base)
-        );
-        assert!(skewed.weighted_speedup(&base) < 2.0);
+        let fairness = skewed.fairness(&base).unwrap();
+        assert!(fairness < 0.8, "fairness = {fairness}");
+        assert!(skewed.weighted_speedup(&base).unwrap() < 2.0);
     }
 
     #[test]

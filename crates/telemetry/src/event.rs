@@ -1,0 +1,276 @@
+//! The structured event vocabulary of the telemetry spine.
+//!
+//! Every observable state transition in the simulated memory system is one
+//! [`Event`] variant: demand activations, row-swap lifecycle, hot-row
+//! tracker (HRT) installs and evictions, CAT cuckoo relocations, epoch
+//! rollovers, the three refresh flavours, scheduler stalls, and LLC hits
+//! and misses. Events are plain `Copy` data stamped with the emitting
+//! component's cycle clock, and serialize to one deterministic JSON line
+//! each (`kind` first, `at` second, then payload fields).
+
+use rrs_json::Json;
+
+/// One observable state transition, stamped with the cycle it happened at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A demand row activation (physical, post-RIT row).
+    Activation {
+        /// Cycle of the activation.
+        at: u64,
+        /// Flat bank index.
+        bank: u64,
+        /// Physical row number within the bank.
+        row: u64,
+    },
+    /// A mitigation-issued row swap began occupying the channel.
+    SwapStart {
+        /// Cycle the swap transfer started.
+        at: u64,
+        /// First row of the pair.
+        row_a: u64,
+        /// Second row of the pair.
+        row_b: u64,
+    },
+    /// A row swap finished (channel released).
+    SwapDone {
+        /// Cycle the swap transfer completed.
+        at: u64,
+        /// First row of the pair.
+        row_a: u64,
+        /// Second row of the pair.
+        row_b: u64,
+    },
+    /// A row pair was unswapped (RIT eviction restoring home locations).
+    Unswap {
+        /// Cycle the unswap started.
+        at: u64,
+        /// First row of the pair.
+        row_a: u64,
+        /// Second row of the pair.
+        row_b: u64,
+    },
+    /// The hot-row tracker installed a new entry.
+    HrtInstall {
+        /// Cycle of the install (emitting component's clock).
+        at: u64,
+        /// Row installed.
+        row: u64,
+        /// Estimated activation count at install time.
+        count: u64,
+    },
+    /// The hot-row tracker evicted an entry (Misra-Gries decrement-out or
+    /// explicit minimum eviction).
+    HrtEvict {
+        /// Cycle of the eviction.
+        at: u64,
+        /// Row evicted.
+        row: u64,
+        /// Estimated count the entry held when evicted.
+        count: u64,
+    },
+    /// The CAT's cuckoo insert displaced entries to alternate slots.
+    CatRelocation {
+        /// Cycle of the insert that caused the relocations.
+        at: u64,
+        /// Number of entries moved by this insert.
+        moves: u64,
+    },
+    /// An epoch (refresh window) completed.
+    EpochRollover {
+        /// Cycle of the boundary.
+        at: u64,
+        /// Zero-based index of the epoch that just completed.
+        epoch: u64,
+    },
+    /// A periodic (tREFI) refresh pulse.
+    Refresh {
+        /// Cycle the refresh started.
+        at: u64,
+    },
+    /// A targeted (victim-row) refresh issued by a mitigation.
+    TargetedRefresh {
+        /// Cycle of the refresh.
+        at: u64,
+        /// Refreshed row number.
+        row: u64,
+    },
+    /// A full-memory preemptive refresh (detector escalation).
+    FullRefresh {
+        /// Cycle the full refresh started.
+        at: u64,
+    },
+    /// The queued scheduler rejected a request because its channel queue
+    /// was full (backpressure).
+    SchedulerStall {
+        /// Cycle of the rejected submission.
+        at: u64,
+        /// Total requests queued across channels at that moment.
+        queued: u64,
+    },
+    /// A last-level-cache hit.
+    LlcHit {
+        /// Cycle of the access (emitting component's clock).
+        at: u64,
+        /// Physical byte address.
+        addr: u64,
+    },
+    /// A last-level-cache miss.
+    LlcMiss {
+        /// Cycle of the access.
+        at: u64,
+        /// Physical byte address.
+        addr: u64,
+    },
+}
+
+impl Event {
+    /// The event's stable kind tag (the `kind` field of its JSON line).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::Activation { .. } => "activation",
+            Event::SwapStart { .. } => "swap_start",
+            Event::SwapDone { .. } => "swap_done",
+            Event::Unswap { .. } => "unswap",
+            Event::HrtInstall { .. } => "hrt_install",
+            Event::HrtEvict { .. } => "hrt_evict",
+            Event::CatRelocation { .. } => "cat_relocation",
+            Event::EpochRollover { .. } => "epoch_rollover",
+            Event::Refresh { .. } => "refresh",
+            Event::TargetedRefresh { .. } => "targeted_refresh",
+            Event::FullRefresh { .. } => "full_refresh",
+            Event::SchedulerStall { .. } => "scheduler_stall",
+            Event::LlcHit { .. } => "llc_hit",
+            Event::LlcMiss { .. } => "llc_miss",
+        }
+    }
+
+    /// The cycle the event is stamped with.
+    pub fn at(&self) -> u64 {
+        match *self {
+            Event::Activation { at, .. }
+            | Event::SwapStart { at, .. }
+            | Event::SwapDone { at, .. }
+            | Event::Unswap { at, .. }
+            | Event::HrtInstall { at, .. }
+            | Event::HrtEvict { at, .. }
+            | Event::CatRelocation { at, .. }
+            | Event::EpochRollover { at, .. }
+            | Event::Refresh { at }
+            | Event::TargetedRefresh { at, .. }
+            | Event::FullRefresh { at }
+            | Event::SchedulerStall { at, .. }
+            | Event::LlcHit { at, .. }
+            | Event::LlcMiss { at, .. } => at,
+        }
+    }
+
+    /// The event as a JSON object with stable field order: `kind`, `at`,
+    /// then payload fields in declaration order.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("kind".to_string(), Json::str(self.kind())),
+            ("at".to_string(), Json::u64(self.at())),
+        ];
+        let mut push = |name: &str, v: u64| fields.push((name.to_string(), Json::u64(v)));
+        match *self {
+            Event::Activation { bank, row, .. } => {
+                push("bank", bank);
+                push("row", row);
+            }
+            Event::SwapStart { row_a, row_b, .. }
+            | Event::SwapDone { row_a, row_b, .. }
+            | Event::Unswap { row_a, row_b, .. } => {
+                push("row_a", row_a);
+                push("row_b", row_b);
+            }
+            Event::HrtInstall { row, count, .. } | Event::HrtEvict { row, count, .. } => {
+                push("row", row);
+                push("count", count);
+            }
+            Event::CatRelocation { moves, .. } => push("moves", moves),
+            Event::EpochRollover { epoch, .. } => push("epoch", epoch),
+            Event::Refresh { .. } | Event::FullRefresh { .. } => {}
+            Event::TargetedRefresh { row, .. } => push("row", row),
+            Event::SchedulerStall { queued, .. } => push("queued", queued),
+            Event::LlcHit { addr, .. } | Event::LlcMiss { addr, .. } => push("addr", addr),
+        }
+        Json::Obj(fields)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_lines_are_stable() {
+        let e = Event::Activation {
+            at: 7,
+            bank: 2,
+            row: 500,
+        };
+        assert_eq!(
+            e.to_json().to_string_compact(),
+            "{\"kind\":\"activation\",\"at\":7,\"bank\":2,\"row\":500}"
+        );
+        let s = Event::SwapStart {
+            at: 10,
+            row_a: 1,
+            row_b: 2,
+        };
+        assert_eq!(
+            s.to_json().to_string_compact(),
+            "{\"kind\":\"swap_start\",\"at\":10,\"row_a\":1,\"row_b\":2}"
+        );
+    }
+
+    #[test]
+    fn kind_and_at_cover_every_variant() {
+        let all = [
+            Event::Activation {
+                at: 1,
+                bank: 0,
+                row: 0,
+            },
+            Event::SwapStart {
+                at: 2,
+                row_a: 0,
+                row_b: 1,
+            },
+            Event::SwapDone {
+                at: 3,
+                row_a: 0,
+                row_b: 1,
+            },
+            Event::Unswap {
+                at: 4,
+                row_a: 0,
+                row_b: 1,
+            },
+            Event::HrtInstall {
+                at: 5,
+                row: 9,
+                count: 1,
+            },
+            Event::HrtEvict {
+                at: 6,
+                row: 9,
+                count: 1,
+            },
+            Event::CatRelocation { at: 7, moves: 2 },
+            Event::EpochRollover { at: 8, epoch: 0 },
+            Event::Refresh { at: 9 },
+            Event::TargetedRefresh { at: 10, row: 3 },
+            Event::FullRefresh { at: 11 },
+            Event::SchedulerStall { at: 12, queued: 64 },
+            Event::LlcHit { at: 13, addr: 64 },
+            Event::LlcMiss { at: 14, addr: 128 },
+        ];
+        let mut kinds: Vec<&str> = all.iter().map(|e| e.kind()).collect();
+        for (i, e) in all.iter().enumerate() {
+            assert_eq!(e.at(), i as u64 + 1);
+        }
+        kinds.dedup();
+        assert_eq!(kinds.len(), all.len(), "kind tags are distinct");
+    }
+}

@@ -49,9 +49,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "multiprogram metrics vs baseline: weighted speedup {:.2}/{} cores, fairness {:.3}",
-        rrs_run.weighted_speedup(&base),
+        rrs_run.weighted_speedup(&base).unwrap_or(f64::NAN),
         cfg.cores,
-        rrs_run.fairness(&base)
+        rrs_run.fairness(&base).unwrap_or(f64::NAN)
     );
 
     // 3. Capture one core's trace and save it in both formats.

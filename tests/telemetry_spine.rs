@@ -1,0 +1,174 @@
+//! Integration tests for the telemetry spine: observation must be
+//! deterministic and must not perturb the experiment.
+//!
+//! The spine's two contracts, end to end:
+//!
+//! 1. **Non-perturbation** — a run on a tracing spine produces a
+//!    [`SimResult`] byte-identical (via its canonical JSON) to the same
+//!    run on the default null spine.
+//! 2. **Determinism** — two tracing runs of the same cell produce the
+//!    same JSON-lines trace, byte for byte.
+
+use std::collections::BTreeMap;
+
+use rrs::campaign::{Campaign, RunOptions};
+use rrs::experiments::{ExperimentConfig, MitigationKind};
+use rrs::sim::SimResult;
+use rrs::telemetry::{Telemetry, DEFAULT_TRACE_CAPACITY};
+use rrs::workloads::catalog::{spec_by_name, Workload};
+use rrs_json::ToJson;
+
+fn canonical(result: &SimResult) -> String {
+    result.to_json().to_string_pretty()
+}
+
+fn smoke_workload() -> Workload {
+    Workload::Single(spec_by_name("hmmer").expect("hmmer is in the catalog"))
+}
+
+#[test]
+fn tracing_does_not_perturb_the_result() {
+    let cfg = ExperimentConfig::smoke_test();
+    let w = smoke_workload();
+    let plain = cfg.run_workload(&w, MitigationKind::Rrs);
+    let spine = Telemetry::with_trace(DEFAULT_TRACE_CAPACITY);
+    let probed = cfg.run_workload_probed(&w, MitigationKind::Rrs, &spine);
+    assert_eq!(
+        canonical(&plain),
+        canonical(&probed),
+        "a tracing spine must not change the simulation outcome"
+    );
+    assert!(spine.events_recorded() > 0, "the run must emit events");
+}
+
+#[test]
+fn trace_is_deterministic_across_runs() {
+    let cfg = ExperimentConfig::smoke_test();
+    let w = smoke_workload();
+    let a = Telemetry::with_trace(DEFAULT_TRACE_CAPACITY);
+    let b = Telemetry::with_trace(DEFAULT_TRACE_CAPACITY);
+    let ra = cfg.run_workload_probed(&w, MitigationKind::Rrs, &a);
+    let rb = cfg.run_workload_probed(&w, MitigationKind::Rrs, &b);
+    assert_eq!(canonical(&ra), canonical(&rb));
+    let trace = a.trace_jsonl().expect("tracing spine records a trace");
+    assert!(!trace.is_empty());
+    assert_eq!(
+        trace,
+        b.trace_jsonl().unwrap(),
+        "same seed must reproduce the trace byte for byte"
+    );
+    assert_eq!(a.counters(), b.counters());
+    assert_eq!(a.event_kind_counts(), b.event_kind_counts());
+}
+
+#[test]
+fn spine_counters_mirror_controller_stats() {
+    let cfg = ExperimentConfig::smoke_test();
+    let spine = Telemetry::with_trace(DEFAULT_TRACE_CAPACITY);
+    let result = cfg.run_workload_probed(&smoke_workload(), MitigationKind::Rrs, &spine);
+    let counters: BTreeMap<String, u64> = spine.counters().into_iter().collect();
+    let get = |name: &str| {
+        *counters
+            .get(name)
+            .unwrap_or_else(|| panic!("counter {name:?} must be registered"))
+    };
+    assert_eq!(get("ctrl.activations"), result.stats.activations);
+    assert_eq!(get("ctrl.row_hits"), result.stats.row_hits);
+    assert_eq!(get("ctrl.swaps"), result.stats.swaps);
+    assert_eq!(get("ctrl.unswaps"), result.stats.unswaps);
+    assert_eq!(get("ctrl.epochs_completed"), result.stats.epochs_completed);
+    assert_eq!(
+        get("ctrl.targeted_refreshes"),
+        result.stats.targeted_refreshes
+    );
+    // RRS's tracker publishes installs/evicts on the spine once attached.
+    assert!(get("hrt.installs") > 0, "RRS must install hot rows");
+}
+
+#[test]
+fn attack_trace_records_swap_events() {
+    let cfg = ExperimentConfig::smoke_test();
+    let spine = Telemetry::with_trace(DEFAULT_TRACE_CAPACITY);
+    let outcome = cfg.run_attack_probed(
+        rrs::workloads::AttackKind::DoubleSided,
+        MitigationKind::Rrs,
+        1,
+        &spine,
+    );
+    assert!(!outcome.attack_succeeded(), "RRS must defend");
+    let kinds: BTreeMap<&'static str, u64> = spine.event_kind_counts().into_iter().collect();
+    assert!(kinds.get("activation").copied().unwrap_or(0) > 0);
+    assert!(
+        kinds.get("hrt_install").copied().unwrap_or(0) > 0,
+        "a hammering aggressor must enter the hot-row tracker"
+    );
+    assert!(
+        kinds.get("epoch_rollover").copied().unwrap_or(0) > 0,
+        "a full epoch must roll over"
+    );
+}
+
+#[test]
+fn campaign_trace_mode_captures_and_merges() {
+    let dir = std::env::temp_dir().join("rrs_spine_campaign");
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = ExperimentConfig::smoke_test();
+
+    // Populate the result cache first, so the traced run below proves it
+    // re-simulates (cached JSON carries no telemetry).
+    let mut warm = Campaign::new();
+    warm.workload(cfg, smoke_workload(), MitigationKind::Rrs);
+    let opts = RunOptions::quiet().with_out_dir(&dir);
+    let warm_run = warm.run(&opts);
+    assert!(warm_run.outcomes().iter().all(|o| o.telemetry.is_none()));
+
+    let mut campaign = Campaign::new();
+    let cell = campaign.workload(cfg, smoke_workload(), MitigationKind::Rrs);
+    let run = campaign.run(&RunOptions::quiet().with_out_dir(&dir).with_trace());
+    let outcome = &run.outcomes()[cell];
+    assert!(!outcome.from_cache, "tracing must bypass the result cache");
+    let telemetry = outcome
+        .telemetry
+        .as_ref()
+        .expect("trace mode captures per-cell telemetry");
+    assert!(telemetry.events_recorded > 0);
+    assert!(!telemetry.trace_jsonl.is_empty());
+    assert!(telemetry.counters.iter().any(|(n, _)| n == "ctrl.swaps"));
+
+    // The merged view aggregates across cells without losing names.
+    let merged = run.merged_counters();
+    assert!(!merged.is_empty());
+    let (recorded, _dropped) = run.merged_event_totals();
+    assert_eq!(recorded, telemetry.events_recorded);
+
+    // The JSON-lines trace lands next to the cached result.
+    let trace_path = dir.join(format!("{}.trace.jsonl", outcome.id));
+    let on_disk = std::fs::read_to_string(&trace_path).expect("trace file written");
+    assert_eq!(on_disk, telemetry.trace_jsonl);
+
+    // A second traced campaign reproduces the trace byte for byte.
+    let mut again = Campaign::new();
+    again.workload(cfg, smoke_workload(), MitigationKind::Rrs);
+    let rerun = again.run(&RunOptions::quiet().with_trace());
+    let re_tel = rerun.outcomes()[0].telemetry.as_ref().unwrap();
+    assert_eq!(re_tel.trace_jsonl, telemetry.trace_jsonl);
+    assert_eq!(re_tel.counters, telemetry.counters);
+}
+
+#[test]
+fn trace_lines_are_well_formed_json_objects() {
+    let cfg = ExperimentConfig::smoke_test();
+    let spine = Telemetry::with_trace(DEFAULT_TRACE_CAPACITY);
+    let _ = cfg.run_workload_probed(&smoke_workload(), MitigationKind::Rrs, &spine);
+    let trace = spine.trace_jsonl().unwrap();
+    for line in trace.lines() {
+        let parsed = rrs_json::Json::parse(line)
+            .unwrap_or_else(|e| panic!("unparseable trace line {line:?}: {e}"));
+        assert!(
+            matches!(parsed, rrs_json::Json::Obj(_)),
+            "each event is a JSON object"
+        );
+        assert!(parsed.get("kind").and_then(|k| k.as_str()).is_some());
+        assert!(parsed.get("at").and_then(|a| a.as_u64()).is_some());
+    }
+}
