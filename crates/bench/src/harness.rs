@@ -100,6 +100,16 @@ impl Harness {
         h
     }
 
+    /// A harness for programmatic use (`rrs bench-report`): no argv
+    /// filtering, quick mode by explicit choice.
+    pub fn programmatic(quick: bool) -> Self {
+        Harness {
+            filter: None,
+            quick,
+            records: Vec::new(),
+        }
+    }
+
     fn target(&self) -> Duration {
         if self.quick {
             TARGET / 10

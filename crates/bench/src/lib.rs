@@ -21,6 +21,7 @@
 //! dedupe, and every cell lands in the `--out` cache.
 
 pub mod harness;
+pub mod suite;
 
 use rrs::campaign::{Campaign, RunOptions};
 use rrs::experiments::{ExperimentConfig, MitigationKind};

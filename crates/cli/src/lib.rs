@@ -6,12 +6,19 @@
 //! [`print_usage`] for the command reference.
 
 use std::fmt;
+use std::path::{Path, PathBuf};
 
 use rrs::campaign::{Campaign, RunOptions};
 use rrs::experiments::{ExperimentConfig, MitigationKind};
+use rrs::forensics::{ExportOptions, ExposureConfig, ExposureReport, TraceHeader};
 use rrs::sim::{SimResult, TraceSource};
 use rrs::workloads::catalog::{all_workloads, spec_by_name, table3_workloads, Workload};
 use rrs::workloads::AttackKind;
+use rrs_json::Json;
+
+pub mod output;
+
+use output::OutputKind;
 
 /// A CLI-level error (message already formatted for the user).
 #[derive(Debug)]
@@ -234,6 +241,8 @@ pub fn dispatch(args: &[String]) -> Result<(), CliError> {
         "sweep" => cmd_sweep(&flags),
         "campaign" => cmd_campaign(&flags),
         "trace" => cmd_trace(&flags),
+        "forensics" => cmd_forensics(&flags),
+        "bench-report" => cmd_bench_report(&flags),
         "capture" => cmd_capture(&flags),
         "replay" => cmd_replay(&flags),
         "analyze" => cmd_analyze(&flags),
@@ -448,6 +457,12 @@ fn cmd_trace(flags: &Flags) -> Result<(), CliError> {
         spine.events_dropped(),
         capacity
     );
+    if spine.events_dropped() > 0 {
+        println!(
+            "WARN: {} events dropped (raise --capacity)",
+            spine.events_dropped()
+        );
+    }
     for (event, n) in spine.event_kind_counts() {
         println!("  {event:<18} {n}");
     }
@@ -455,18 +470,270 @@ fn cmd_trace(flags: &Flags) -> Result<(), CliError> {
     for (name, value) in spine.counters() {
         println!("  {name:<28} {value}");
     }
-    let jsonl = spine.trace_jsonl().unwrap_or_default();
+    // The saved trace leads with a header record carrying the recorder
+    // bookkeeping (including drops), then one event per line.
+    let header = TraceHeader {
+        events_recorded: spine.events_recorded(),
+        events_dropped: spine.events_dropped(),
+        capacity: capacity as u64,
+    };
+    let mut jsonl = header.to_json().to_string_compact();
+    jsonl.push('\n');
+    jsonl.push_str(&spine.trace_jsonl().unwrap_or_default());
     if let Some(path) = flags.get("out") {
-        std::fs::write(path, &jsonl).map_err(|e| CliError(format!("writing {path}: {e}")))?;
+        let path = output::write_as(path, OutputKind::TraceJsonl, &jsonl)?;
         println!(
             "trace        : {} ({} events, JSON lines)",
-            path,
+            path.display(),
             spine.events_recorded()
         );
     } else if flags.has("dump") {
         print!("{jsonl}");
     } else {
         println!("trace        : pass --out <file> to save or --dump to print");
+    }
+    // `--summary <file>` saves the registry snapshot as a JSON document.
+    if let Some(path) = flags.get("summary") {
+        let path = output::write_as(
+            path,
+            OutputKind::Json,
+            &spine.snapshot_json().to_string_pretty(),
+        )?;
+        println!("summary      : {}", path.display());
+    }
+    Ok(())
+}
+
+/// Default forensics ring capacity: LLC hit/miss events dominate traced
+/// runs, so the `rrs trace` default (64k) truncates most attack traces
+/// before a whole epoch fits.
+const FORENSICS_TRACE_CAPACITY: usize = 1 << 20;
+
+fn cmd_forensics(flags: &Flags) -> Result<(), CliError> {
+    let cfg = flags.experiment()?;
+    let t_rrs = (cfg.t_rh() / rrs::core::DEFAULT_K).max(1);
+    // Event source: a saved trace file, or a fresh traced simulation.
+    let (events, dropped) = if let Some(path) = flags.get("trace") {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| CliError(format!("reading {path}: {e}")))?;
+        let parsed =
+            rrs::forensics::parse_jsonl(&text).map_err(|e| CliError(format!("{path}: {e}")))?;
+        println!("trace        : {path} ({} events)", parsed.events.len());
+        let dropped = parsed.events_dropped();
+        (parsed.events, dropped)
+    } else {
+        let capacity = flags
+            .get_num::<usize>("capacity")?
+            .unwrap_or(FORENSICS_TRACE_CAPACITY);
+        let kind = flags.defense()?;
+        let spine = rrs::telemetry::Telemetry::with_trace(capacity);
+        let (scenario, defense) = if let Some(pattern) = flags.get("pattern") {
+            let attack = parse_attack(pattern, &cfg)?;
+            let epochs = flags.get_num::<u64>("epochs")?.unwrap_or(1);
+            let outcome = cfg.run_attack_probed(attack, kind, epochs, &spine);
+            (
+                outcome.result.workload.clone(),
+                outcome.result.mitigation.clone(),
+            )
+        } else {
+            let name = flags.get("workload").unwrap_or("gcc");
+            let spec =
+                spec_by_name(name).ok_or_else(|| CliError(format!("unknown workload {name:?}")))?;
+            let result = cfg.run_workload_probed(&Workload::Single(spec), kind, &spine);
+            (result.workload.clone(), result.mitigation.clone())
+        };
+        println!("scenario     : {scenario} under {defense}");
+        (spine.events(), spine.events_dropped())
+    };
+    if dropped > 0 {
+        println!("WARN: {dropped} events dropped (raise --capacity)");
+    }
+    let threshold = flags.get_num::<u64>("threshold")?.unwrap_or(t_rrs);
+    // Slack defaults to one more swap threshold's worth: activations that
+    // land between the tracker crossing T_RRS and the swap completing.
+    let slack = flags.get_num::<u64>("slack")?.unwrap_or(threshold);
+    let report = ExposureReport::reconstruct(
+        &events,
+        ExposureConfig {
+            swap_threshold: threshold,
+            slack,
+        },
+        dropped,
+    );
+    print!("{}", report.render_text());
+    if let Some(path) = flags.get("report") {
+        let path = output::write_as(path, OutputKind::Json, &report.to_json().to_string_pretty())?;
+        println!("report       : {}", path.display());
+    }
+    if let Some(path) = flags.get("perfetto") {
+        let opts = ExportOptions {
+            activations: flags.has("acts"),
+        };
+        let text = rrs::forensics::export_trace(&events, &opts);
+        let path = output::write_as(path, OutputKind::Json, &text)?;
+        println!(
+            "perfetto     : {} (load in ui.perfetto.dev)",
+            path.display()
+        );
+    }
+    Ok(())
+}
+
+/// Reads the current commit hash from `.git` (no subprocess), walking up
+/// from the working directory; `"unknown"` when unavailable.
+fn git_rev() -> String {
+    fn from_repo(git: &Path) -> Option<String> {
+        let head = std::fs::read_to_string(git.join("HEAD")).ok()?;
+        let head = head.trim();
+        let Some(refname) = head.strip_prefix("ref: ") else {
+            return Some(head.to_string()); // detached HEAD: a raw hash
+        };
+        if let Ok(hash) = std::fs::read_to_string(git.join(refname)) {
+            return Some(hash.trim().to_string());
+        }
+        // Refs may only exist packed.
+        let packed = std::fs::read_to_string(git.join("packed-refs")).ok()?;
+        packed.lines().find_map(|line| {
+            line.strip_suffix(refname)
+                .map(|hash| hash.trim().to_string())
+        })
+    }
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        let git = dir.join(".git");
+        if git.is_dir() {
+            if let Some(hash) = from_repo(&git) {
+                let short: String = hash.chars().take(12).collect();
+                return short;
+            }
+            break;
+        }
+        if !dir.pop() {
+            break;
+        }
+    }
+    "unknown".to_string()
+}
+
+/// Finds the most recent prior `BENCH_*.json` snapshot in `dir` (highest
+/// numeric suffix, excluding `current`).
+fn find_prior_snapshot(dir: &Path, current: &Path) -> Option<PathBuf> {
+    let entries = std::fs::read_dir(dir).ok()?;
+    let mut best: Option<(u64, PathBuf)> = None;
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if !name.starts_with("BENCH_") || !name.ends_with(".json") {
+            continue;
+        }
+        if path.file_name() == current.file_name() {
+            continue;
+        }
+        let digits: String = name.chars().filter(|c| c.is_ascii_digit()).collect();
+        let n: u64 = digits.parse().unwrap_or(0);
+        if best.as_ref().is_none_or(|(b, _)| n > *b) {
+            best = Some((n, path));
+        }
+    }
+    best.map(|(_, p)| p)
+}
+
+fn cmd_bench_report(flags: &Flags) -> Result<(), CliError> {
+    let smoke = flags.has("smoke");
+    let out_raw = flags.get("out").unwrap_or("BENCH_PR4.json");
+    let regress_pct = flags.get_num::<f64>("threshold")?.unwrap_or(10.0);
+    if smoke {
+        println!("bench-report: smoke mode (tiny measurement budget; numbers are schema checks, not data)");
+    }
+    let mut h = bench::harness::Harness::programmatic(smoke);
+    bench::suite::standard_suite(&mut h);
+    let rev = git_rev();
+    let benches: Vec<(String, Json)> = h
+        .records()
+        .iter()
+        .map(|r| {
+            (
+                r.name.clone(),
+                Json::Obj(vec![
+                    (
+                        "median_ns".to_string(),
+                        Json::f64((r.ns_per_iter * 100.0).round() / 100.0),
+                    ),
+                    ("iters".to_string(), Json::u64(r.iters)),
+                    ("git_rev".to_string(), Json::str(&rev)),
+                ]),
+            )
+        })
+        .collect();
+    let doc = Json::Obj(vec![
+        ("schema".to_string(), Json::str("rrs-bench-v1")),
+        (
+            "mode".to_string(),
+            Json::str(if smoke { "smoke" } else { "full" }),
+        ),
+        ("git_rev".to_string(), Json::str(&rev)),
+        ("benches".to_string(), Json::Obj(benches)),
+    ]);
+    let out_path = output::write_as(out_raw, OutputKind::Json, &doc.to_string_pretty())?;
+    println!(
+        "wrote {} ({} benches, rev {rev})",
+        out_path.display(),
+        h.records().len()
+    );
+
+    // Diff against the most recent prior snapshot, if one exists. Absent
+    // or malformed priors are reported, never fatal.
+    let dir = out_path
+        .parent()
+        .filter(|p| !p.as_os_str().is_empty())
+        .map_or_else(|| PathBuf::from("."), Path::to_path_buf);
+    let Some(prior_path) = find_prior_snapshot(&dir, &out_path) else {
+        println!("no prior BENCH_*.json snapshot to diff against");
+        return Ok(());
+    };
+    let prior = match std::fs::read_to_string(&prior_path)
+        .map_err(|e| e.to_string())
+        .and_then(|t| Json::parse(&t).map_err(|e| e.to_string()))
+    {
+        Ok(json) => json,
+        Err(e) => {
+            println!("cannot diff against {}: {e}", prior_path.display());
+            return Ok(());
+        }
+    };
+    println!("diff vs {}:", prior_path.display());
+    let mut regressions = 0usize;
+    for r in h.records() {
+        let prior_ns = prior
+            .get("benches")
+            .and_then(|b| b.get(&r.name))
+            .and_then(|b| b.get("median_ns"))
+            .and_then(Json::as_f64)
+            .filter(|v| v.is_finite() && *v > 0.0);
+        match prior_ns {
+            Some(p) => {
+                let pct = (r.ns_per_iter - p) / p * 100.0;
+                let flag = if pct > regress_pct {
+                    regressions += 1;
+                    "  REGRESSION"
+                } else {
+                    ""
+                };
+                println!("  {:<40} {:>+8.1}%{flag}", r.name, pct);
+            }
+            None => println!("  {:<40}      new", r.name),
+        }
+    }
+    if regressions > 0 {
+        println!(
+            "{regressions} benchmark(s) regressed more than {regress_pct:.0}% \
+             (timing noise is expected in smoke mode)"
+        );
+        if flags.has("strict") {
+            return Err(format!("{regressions} benchmark regression(s) over threshold").into());
+        }
     }
     Ok(())
 }
@@ -589,8 +856,22 @@ COMMANDS:
               default results/, and reruns skip finished cells)
     trace    [--workload <name> | --pattern <p>] --defense <d>
              [--epochs N] [--capacity N] [--out <file> | --dump]
+             [--summary <file>]
              run once with telemetry tracing on; print counter and
-             event summaries, save the trace as JSON lines
+             event summaries, save the trace as JSON lines (.jsonl,
+             with a trace_header record) and the registry snapshot
+             as JSON (.json)
+    forensics [--trace <file> | --pattern <p> | --workload <name>]
+             [--defense <d>] [--epochs N] [--capacity N]
+             [--threshold N] [--slack N] [--acts]
+             [--report <out.json>] [--perfetto <out.json>]
+             reconstruct per-row exposure from a trace (saved or run
+             fresh): max activations-per-residency vs T_RRS verdict,
+             relocation entropy, optional Perfetto timeline export
+    bench-report [--smoke] [--out FILE] [--threshold PCT] [--strict]
+             run the standard bench suite, snapshot medians to
+             BENCH_*.json (default BENCH_PR4.json), diff against the
+             most recent prior snapshot and flag regressions
     capture  --workload <name> --records N --out <file> [--text]
     replay   --trace <file> --defense <d>                   replay a trace file
     analyze  --what table4|table5|duty-cycle                analytic models
@@ -748,10 +1029,12 @@ mpki 12
         let dir = std::env::temp_dir().join("rrs_cli_trace");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("hmmer.trace.jsonl");
+        let summary = dir.join("hmmer.summary.json");
         let cmd = format!(
             "trace --workload hmmer --defense rrs --scale 200 --instr 20000 \
-             --cores 2 --out {}",
-            path.display()
+             --cores 2 --out {} --summary {}",
+            path.display(),
+            summary.display()
         );
         dispatch(&argv(&cmd)).unwrap();
         let trace = std::fs::read_to_string(&path).unwrap();
@@ -759,9 +1042,129 @@ mpki 12
         for line in trace.lines() {
             assert!(line.starts_with("{\"kind\":"), "bad event line: {line}");
         }
+        // The first line is the trace_header bookkeeping record, and the
+        // whole file parses through the forensics reader.
+        assert!(trace.starts_with("{\"kind\":\"trace_header\""));
+        let parsed = rrs::forensics::parse_jsonl(&trace).unwrap();
+        let header = parsed.header.expect("saved traces carry a header");
+        assert_eq!(
+            parsed.events.len() as u64,
+            header.events_recorded - header.events_dropped
+        );
+        // The summary is a JSON registry snapshot.
+        let snap = std::fs::read_to_string(&summary).unwrap();
+        assert!(rrs_json::Json::parse(&snap).is_ok());
         // Attack tracing works through the same command.
         let atk = "trace --pattern double-sided --defense none --scale 200 --epochs 1";
         dispatch(&argv(atk)).unwrap();
+    }
+
+    #[test]
+    fn trace_out_extension_is_enforced() {
+        let dir = std::env::temp_dir().join("rrs_cli_trace_ext");
+        std::fs::create_dir_all(&dir).unwrap();
+        // A ".json" trace path is corrected to ".jsonl".
+        let wrong = dir.join("t.json");
+        let cmd = format!(
+            "trace --workload hmmer --defense rrs --scale 200 --instr 20000 \
+             --cores 2 --out {}",
+            wrong.display()
+        );
+        dispatch(&argv(&cmd)).unwrap();
+        assert!(!wrong.exists(), "mislabelled path must not be written");
+        assert!(dir.join("t.jsonl").exists());
+    }
+
+    #[test]
+    fn forensics_pattern_verdicts_flip_with_the_defense() {
+        let dir = std::env::temp_dir().join("rrs_cli_forensics");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let report = dir.join("rep.json");
+        let perfetto = dir.join("out.json");
+        let cmd = format!(
+            "forensics --pattern double-sided --defense rrs --scale 200 \
+             --cores 2 --epochs 1 --report {} --perfetto {}",
+            report.display(),
+            perfetto.display()
+        );
+        dispatch(&argv(&cmd)).unwrap();
+        let rep = rrs_json::Json::parse(&std::fs::read_to_string(&report).unwrap()).unwrap();
+        assert_eq!(
+            rep.get("verdict").and_then(|v| v.as_str()),
+            Some("pass"),
+            "RRS must bound exposure: {rep:?}"
+        );
+        let doc = rrs_json::Json::parse(&std::fs::read_to_string(&perfetto).unwrap()).unwrap();
+        let events = doc.get("traceEvents").and_then(|e| e.as_array()).unwrap();
+        assert!(!events.is_empty(), "perfetto export has tracks");
+
+        // The same attack without a defense must fail the verdict.
+        let undefended = dir.join("rep_none.json");
+        let cmd = format!(
+            "forensics --pattern double-sided --defense none --scale 200 \
+             --cores 2 --epochs 1 --report {}",
+            undefended.display()
+        );
+        dispatch(&argv(&cmd)).unwrap();
+        let rep = rrs_json::Json::parse(&std::fs::read_to_string(&undefended).unwrap()).unwrap();
+        assert_eq!(rep.get("verdict").and_then(|v| v.as_str()), Some("fail"));
+    }
+
+    #[test]
+    fn forensics_reads_saved_traces() {
+        let dir = std::env::temp_dir().join("rrs_cli_forensics_file");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("atk.trace.jsonl");
+        let cmd = format!(
+            "trace --pattern double-sided --defense rrs --scale 200 --cores 2 \
+             --epochs 1 --out {}",
+            trace.display()
+        );
+        dispatch(&argv(&cmd)).unwrap();
+        let report = dir.join("from_file.json");
+        let cmd = format!(
+            "forensics --trace {} --scale 200 --report {}",
+            trace.display(),
+            report.display()
+        );
+        dispatch(&argv(&cmd)).unwrap();
+        let rep = rrs_json::Json::parse(&std::fs::read_to_string(&report).unwrap()).unwrap();
+        assert!(rep.get("max_exposure").and_then(|v| v.as_u64()).is_some());
+        // A missing file errors cleanly.
+        assert!(dispatch(&argv("forensics --trace /nonexistent.jsonl")).is_err());
+    }
+
+    #[test]
+    fn bench_report_smoke_writes_schema_and_diffs() {
+        let dir = std::env::temp_dir().join("rrs_cli_bench_report");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("BENCH_PR4.json");
+        let cmd = format!("bench-report --smoke --out {}", out.display());
+        // First run: no prior snapshot — must not panic.
+        dispatch(&argv(&cmd)).unwrap();
+        let doc = rrs_json::Json::parse(&std::fs::read_to_string(&out).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(|v| v.as_str()),
+            Some("rrs-bench-v1")
+        );
+        let benches = doc.get("benches").unwrap();
+        let rrs_json::Json::Obj(entries) = benches else {
+            panic!("benches must be an object");
+        };
+        assert!(entries.len() >= 8, "suite covers the layers");
+        for (name, entry) in entries {
+            assert!(
+                entry.get("median_ns").and_then(|v| v.as_f64()).unwrap() > 0.0,
+                "{name}"
+            );
+            assert!(entry.get("iters").and_then(|v| v.as_u64()).unwrap() > 0);
+            assert!(entry.get("git_rev").and_then(|v| v.as_str()).is_some());
+        }
+        // Second run with a prior present: the diff path executes.
+        std::fs::rename(&out, dir.join("BENCH_PR3.json")).unwrap();
+        dispatch(&argv(&cmd)).unwrap();
     }
 
     #[test]

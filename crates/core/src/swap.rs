@@ -109,19 +109,21 @@ impl SwapEngine {
         free
     }
 
-    /// [`SwapEngine::record_swap`] with the row pair known, so the swap's
-    /// start and completion appear on the event trace.
-    pub fn record_swap_of(&mut self, now: Cycle, row_a: u64, row_b: u64) -> Cycle {
+    /// [`SwapEngine::record_swap`] with the bank and row pair known, so the
+    /// swap's start and completion appear on the event trace.
+    pub fn record_swap_of(&mut self, now: Cycle, bank: u64, row_a: u64, row_b: u64) -> Cycle {
         let start = now.max(self.busy_until);
         let free = self.record_swap(now);
         if self.telemetry.tracing() {
             self.telemetry.emit(Event::SwapStart {
                 at: start,
+                bank,
                 row_a,
                 row_b,
             });
             self.telemetry.emit(Event::SwapDone {
                 at: free,
+                bank,
                 row_a,
                 row_b,
             });
@@ -138,14 +140,15 @@ impl SwapEngine {
         free
     }
 
-    /// [`SwapEngine::record_unswap`] with the row pair known, so the
-    /// restore appears on the event trace.
-    pub fn record_unswap_of(&mut self, now: Cycle, row_a: u64, row_b: u64) -> Cycle {
+    /// [`SwapEngine::record_unswap`] with the bank and row pair known, so
+    /// the restore appears on the event trace.
+    pub fn record_unswap_of(&mut self, now: Cycle, bank: u64, row_a: u64, row_b: u64) -> Cycle {
         let start = now.max(self.busy_until);
         let free = self.record_unswap(now);
         if self.telemetry.tracing() {
             self.telemetry.emit(Event::Unswap {
                 at: start,
+                bank,
                 row_a,
                 row_b,
             });

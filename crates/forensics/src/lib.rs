@@ -1,0 +1,33 @@
+//! Trace forensics: the consumer side of the telemetry spine.
+//!
+//! PR 3's spine emits a JSON-lines event stream; this crate turns that
+//! firehose into answers about the paper's core security claim (§7):
+//! does RRS actually keep every row's activations-at-one-location below
+//! the swap threshold?
+//!
+//! * [`parse`] — JSON-lines trace deserialization (with the optional
+//!   `trace_header` record the CLI prepends) back into [`Event`]s.
+//! * [`exposure`] — the reconstructor: replays the event stream into
+//!   per-physical-row residency intervals and computes
+//!   max-activations-per-residency, time-at-location histograms,
+//!   relocation entropy, and a pass/fail verdict against the configured
+//!   swap threshold.
+//! * [`perfetto`] — a Chrome `trace_event` JSON exporter so swap
+//!   lifecycles, scheduler stalls, targeted refreshes, and epoch
+//!   rollovers render in <https://ui.perfetto.dev>.
+//!
+//! Everything is a pure function of the event sequence: reports and
+//! exports are byte-deterministic, a property the golden tests pin.
+//!
+//! [`Event`]: rrs_telemetry::Event
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod exposure;
+pub mod parse;
+pub mod perfetto;
+
+pub use exposure::{ExposureConfig, ExposureReport, RowExposure};
+pub use parse::{parse_jsonl, ParsedTrace, TraceHeader};
+pub use perfetto::{export_trace, ExportOptions};

@@ -30,6 +30,7 @@ pub const SIM_CRATES: &[&str] = &[
     "check",
     "json",
     "telemetry",
+    "forensics",
 ];
 
 /// Crates on the per-activation hot path (§4.1: every access consults the

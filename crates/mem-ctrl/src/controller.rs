@@ -514,6 +514,7 @@ impl MemoryController {
                         self.metrics.targeted_refreshes.inc();
                         self.telemetry.emit(Event::TargetedRefresh {
                             at,
+                            bank: victim.bank_index(&self.config.geometry) as u64,
                             row: victim.row.0 as u64,
                         });
                     }
@@ -547,20 +548,26 @@ impl MemoryController {
                     }
                     if self.telemetry.tracing() {
                         let (row_a, row_b) = (a.row.0 as u64, b.row.0 as u64);
+                        // Swaps never cross banks, so `a`'s flat index
+                        // identifies the pair's bank.
+                        let bank = a.bank_index(&self.config.geometry) as u64;
                         if is_swap {
                             self.telemetry.emit(Event::SwapStart {
                                 at: start,
+                                bank,
                                 row_a,
                                 row_b,
                             });
                             self.telemetry.emit(Event::SwapDone {
                                 at: end,
+                                bank,
                                 row_a,
                                 row_b,
                             });
                         } else {
                             self.telemetry.emit(Event::Unswap {
                                 at: start,
+                                bank,
                                 row_a,
                                 row_b,
                             });

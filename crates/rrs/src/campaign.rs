@@ -501,6 +501,22 @@ fn run_cell(cell: &Cell, opts: &RunOptions) -> CellOutcome {
             let trace_path = dir.join(format!("{id}.trace.jsonl"));
             std::fs::write(&trace_path, &captured.trace_jsonl)
                 .unwrap_or_else(|e| panic!("campaign: cannot write {}: {e}", trace_path.display()));
+            // Exposure forensics ride along with every traced cell: judge
+            // the trace against the cell's own T_RRS (whatever defense ran,
+            // so an undefended cell shows a failing verdict).
+            let t_rrs = (cell.config.t_rh() / rrs_core::DEFAULT_K).max(1);
+            let report = rrs_forensics::ExposureReport::reconstruct(
+                &spine.events(),
+                rrs_forensics::ExposureConfig {
+                    swap_threshold: t_rrs,
+                    slack: t_rrs,
+                },
+                spine.events_dropped(),
+            );
+            let forensics_path = dir.join(format!("{id}.forensics.json"));
+            std::fs::write(&forensics_path, report.to_json().to_string_pretty()).unwrap_or_else(
+                |e| panic!("campaign: cannot write {}: {e}", forensics_path.display()),
+            );
         }
         (result, Some(captured))
     } else {

@@ -18,6 +18,8 @@
 //! * [`analysis`] — the security/storage/power analytic models;
 //! * [`telemetry`] — the observability spine (counters, structured events,
 //!   bounded trace recording) threaded through every layer above;
+//! * [`forensics`] — the spine's consumer: per-row exposure
+//!   reconstruction, exposure verdicts, and Perfetto trace export;
 //! * [`experiments`] — the shared harness used by `examples/`, `tests/`,
 //!   and the `bench` crate to regenerate the paper's tables and figures;
 //! * [`campaign`] — the declarative parallel grid runner those harnesses
@@ -41,6 +43,7 @@
 pub use rrs_analysis as analysis;
 pub use rrs_core as core;
 pub use rrs_dram as dram;
+pub use rrs_forensics as forensics;
 pub use rrs_mem_ctrl as mem_ctrl;
 pub use rrs_mitigations as mitigations;
 pub use rrs_sim as sim;

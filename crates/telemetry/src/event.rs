@@ -26,6 +26,8 @@ pub enum Event {
     SwapStart {
         /// Cycle the swap transfer started.
         at: u64,
+        /// Flat bank index the pair lives in (swaps never cross banks).
+        bank: u64,
         /// First row of the pair.
         row_a: u64,
         /// Second row of the pair.
@@ -35,6 +37,8 @@ pub enum Event {
     SwapDone {
         /// Cycle the swap transfer completed.
         at: u64,
+        /// Flat bank index the pair lives in.
+        bank: u64,
         /// First row of the pair.
         row_a: u64,
         /// Second row of the pair.
@@ -44,6 +48,8 @@ pub enum Event {
     Unswap {
         /// Cycle the unswap started.
         at: u64,
+        /// Flat bank index the pair lives in.
+        bank: u64,
         /// First row of the pair.
         row_a: u64,
         /// Second row of the pair.
@@ -91,6 +97,8 @@ pub enum Event {
     TargetedRefresh {
         /// Cycle of the refresh.
         at: u64,
+        /// Flat bank index of the refreshed row.
+        bank: u64,
         /// Refreshed row number.
         row: u64,
     },
@@ -177,9 +185,16 @@ impl Event {
                 push("bank", bank);
                 push("row", row);
             }
-            Event::SwapStart { row_a, row_b, .. }
-            | Event::SwapDone { row_a, row_b, .. }
-            | Event::Unswap { row_a, row_b, .. } => {
+            Event::SwapStart {
+                bank, row_a, row_b, ..
+            }
+            | Event::SwapDone {
+                bank, row_a, row_b, ..
+            }
+            | Event::Unswap {
+                bank, row_a, row_b, ..
+            } => {
+                push("bank", bank);
                 push("row_a", row_a);
                 push("row_b", row_b);
             }
@@ -190,11 +205,97 @@ impl Event {
             Event::CatRelocation { moves, .. } => push("moves", moves),
             Event::EpochRollover { epoch, .. } => push("epoch", epoch),
             Event::Refresh { .. } | Event::FullRefresh { .. } => {}
-            Event::TargetedRefresh { row, .. } => push("row", row),
+            Event::TargetedRefresh { bank, row, .. } => {
+                push("bank", bank);
+                push("row", row);
+            }
             Event::SchedulerStall { queued, .. } => push("queued", queued),
             Event::LlcHit { addr, .. } | Event::LlcMiss { addr, .. } => push("addr", addr),
         }
         Json::Obj(fields)
+    }
+
+    /// Parses the JSON object produced by [`Event::to_json`] back into the
+    /// event — the inverse used by trace consumers (the forensics layer).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the missing/malformed field, or the unknown
+    /// `kind` tag.
+    pub fn from_json(json: &Json) -> Result<Event, String> {
+        let kind = json
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "event line without a string `kind`".to_string())?;
+        let field = |name: &str| -> Result<u64, String> {
+            json.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("{kind} event missing u64 field {name:?}"))
+        };
+        let at = field("at")?;
+        Ok(match kind {
+            "activation" => Event::Activation {
+                at,
+                bank: field("bank")?,
+                row: field("row")?,
+            },
+            "swap_start" => Event::SwapStart {
+                at,
+                bank: field("bank")?,
+                row_a: field("row_a")?,
+                row_b: field("row_b")?,
+            },
+            "swap_done" => Event::SwapDone {
+                at,
+                bank: field("bank")?,
+                row_a: field("row_a")?,
+                row_b: field("row_b")?,
+            },
+            "unswap" => Event::Unswap {
+                at,
+                bank: field("bank")?,
+                row_a: field("row_a")?,
+                row_b: field("row_b")?,
+            },
+            "hrt_install" => Event::HrtInstall {
+                at,
+                row: field("row")?,
+                count: field("count")?,
+            },
+            "hrt_evict" => Event::HrtEvict {
+                at,
+                row: field("row")?,
+                count: field("count")?,
+            },
+            "cat_relocation" => Event::CatRelocation {
+                at,
+                moves: field("moves")?,
+            },
+            "epoch_rollover" => Event::EpochRollover {
+                at,
+                epoch: field("epoch")?,
+            },
+            "refresh" => Event::Refresh { at },
+            "targeted_refresh" => Event::TargetedRefresh {
+                at,
+                bank: field("bank")?,
+                row: field("row")?,
+            },
+            "full_refresh" => Event::FullRefresh { at },
+            "scheduler_stall" => Event::SchedulerStall {
+                at,
+                queued: field("queued")?,
+            },
+            "llc_hit" => Event::LlcHit {
+                at,
+                addr: field("addr")?,
+            },
+            "llc_miss" => Event::LlcMiss {
+                at,
+                addr: field("addr")?,
+            },
+            other => return Err(format!("unknown event kind {other:?}")),
+        })
     }
 }
 
@@ -215,18 +316,18 @@ mod tests {
         );
         let s = Event::SwapStart {
             at: 10,
+            bank: 3,
             row_a: 1,
             row_b: 2,
         };
         assert_eq!(
             s.to_json().to_string_compact(),
-            "{\"kind\":\"swap_start\",\"at\":10,\"row_a\":1,\"row_b\":2}"
+            "{\"kind\":\"swap_start\",\"at\":10,\"bank\":3,\"row_a\":1,\"row_b\":2}"
         );
     }
 
-    #[test]
-    fn kind_and_at_cover_every_variant() {
-        let all = [
+    fn one_of_each() -> [Event; 14] {
+        [
             Event::Activation {
                 at: 1,
                 bank: 0,
@@ -234,16 +335,19 @@ mod tests {
             },
             Event::SwapStart {
                 at: 2,
+                bank: 5,
                 row_a: 0,
                 row_b: 1,
             },
             Event::SwapDone {
                 at: 3,
+                bank: 5,
                 row_a: 0,
                 row_b: 1,
             },
             Event::Unswap {
                 at: 4,
+                bank: 5,
                 row_a: 0,
                 row_b: 1,
             },
@@ -260,17 +364,46 @@ mod tests {
             Event::CatRelocation { at: 7, moves: 2 },
             Event::EpochRollover { at: 8, epoch: 0 },
             Event::Refresh { at: 9 },
-            Event::TargetedRefresh { at: 10, row: 3 },
+            Event::TargetedRefresh {
+                at: 10,
+                bank: 2,
+                row: 3,
+            },
             Event::FullRefresh { at: 11 },
             Event::SchedulerStall { at: 12, queued: 64 },
             Event::LlcHit { at: 13, addr: 64 },
             Event::LlcMiss { at: 14, addr: 128 },
-        ];
+        ]
+    }
+
+    #[test]
+    fn kind_and_at_cover_every_variant() {
+        let all = one_of_each();
         let mut kinds: Vec<&str> = all.iter().map(|e| e.kind()).collect();
         for (i, e) in all.iter().enumerate() {
             assert_eq!(e.at(), i as u64 + 1);
         }
         kinds.dedup();
         assert_eq!(kinds.len(), all.len(), "kind tags are distinct");
+    }
+
+    #[test]
+    fn json_round_trips_every_variant() {
+        for e in one_of_each() {
+            let parsed = Event::from_json(&e.to_json()).unwrap_or_else(|err| {
+                panic!("round trip failed for {}: {err}", e.kind());
+            });
+            assert_eq!(parsed, e);
+        }
+    }
+
+    #[test]
+    fn from_json_reports_bad_input() {
+        let missing = Json::parse("{\"kind\":\"activation\",\"at\":1,\"bank\":0}").unwrap();
+        assert!(Event::from_json(&missing).unwrap_err().contains("row"));
+        let unknown = Json::parse("{\"kind\":\"teleport\",\"at\":1}").unwrap();
+        assert!(Event::from_json(&unknown).unwrap_err().contains("teleport"));
+        let no_kind = Json::parse("{\"at\":1}").unwrap();
+        assert!(Event::from_json(&no_kind).is_err());
     }
 }

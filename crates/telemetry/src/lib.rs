@@ -213,6 +213,19 @@ impl Telemetry {
             .as_ref()
             .map_or_else(Vec::new, |r| r.kind_counts())
     }
+
+    /// The retained events (oldest first), if a recorder is attached.
+    ///
+    /// Events are `Copy`; this clones the ring so downstream consumers
+    /// (the forensics reconstructor, exporters) can replay the stream
+    /// without holding the spine's interior borrow.
+    pub fn events(&self) -> Vec<Event> {
+        self.shared
+            .recorder
+            .borrow()
+            .as_ref()
+            .map_or_else(Vec::new, |r| r.events().copied().collect())
+    }
 }
 
 impl Default for Telemetry {
@@ -294,5 +307,63 @@ mod tests {
         t.set_now(123);
         let u = t.clone();
         assert_eq!(u.now(), 123);
+    }
+
+    #[test]
+    fn events_accessor_clones_the_ring() {
+        let t = Telemetry::with_trace(4);
+        t.emit(Event::Refresh { at: 1 });
+        t.emit(Event::FullRefresh { at: 2 });
+        let evs = t.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0], Event::Refresh { at: 1 });
+        assert_eq!(evs[1], Event::FullRefresh { at: 2 });
+        assert!(Telemetry::new().events().is_empty());
+    }
+
+    /// Feeds one fixed sequence through a fresh spine.
+    fn scripted_spine() -> Telemetry {
+        let t = Telemetry::with_trace(64);
+        let c = t.counter("acts");
+        let h = t.histogram("lat");
+        for at in 0..12u64 {
+            c.add(1);
+            h.record(at * at);
+            t.emit(Event::Activation {
+                at,
+                bank: at % 3,
+                row: at * 7,
+            });
+            if at % 4 == 3 {
+                t.emit(Event::EpochRollover { at, epoch: at / 4 });
+                t.sample_epoch(at / 4, at);
+            }
+        }
+        t.emit(Event::SwapStart {
+            at: 12,
+            bank: 1,
+            row_a: 7,
+            row_b: 21,
+        });
+        t
+    }
+
+    #[test]
+    fn event_kind_counts_match_the_script() {
+        let t = scripted_spine();
+        assert_eq!(
+            t.event_kind_counts(),
+            vec![("activation", 12), ("epoch_rollover", 3), ("swap_start", 1)]
+        );
+    }
+
+    #[test]
+    fn snapshot_json_is_byte_deterministic() {
+        let a = scripted_spine().snapshot_json().to_string_pretty();
+        let b = scripted_spine().snapshot_json().to_string_pretty();
+        assert_eq!(a, b, "identically-scripted spines snapshot identically");
+        let ta = scripted_spine().trace_jsonl().unwrap_or_default();
+        let tb = scripted_spine().trace_jsonl().unwrap_or_default();
+        assert_eq!(ta, tb, "and export byte-identical traces");
     }
 }

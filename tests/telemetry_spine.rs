@@ -146,6 +146,22 @@ fn campaign_trace_mode_captures_and_merges() {
     let on_disk = std::fs::read_to_string(&trace_path).expect("trace file written");
     assert_eq!(on_disk, telemetry.trace_jsonl);
 
+    // ... and so does its exposure report, parseable with a verdict.
+    let forensics_path = dir.join(format!("{}.forensics.json", outcome.id));
+    let report = std::fs::read_to_string(&forensics_path).expect("forensics file written");
+    let report = rrs_json::Json::parse(&report).expect("forensics file is JSON");
+    assert!(matches!(
+        report.get("verdict").and_then(|v| v.as_str()),
+        Some("pass") | Some("fail")
+    ));
+
+    // The written trace parses back into the events the ring retained.
+    let parsed = rrs::forensics::parse_jsonl(&on_disk).expect("trace re-parses");
+    assert_eq!(
+        parsed.events.len() as u64,
+        telemetry.events_recorded - telemetry.events_dropped
+    );
+
     // A second traced campaign reproduces the trace byte for byte.
     let mut again = Campaign::new();
     again.workload(cfg, smoke_workload(), MitigationKind::Rrs);
