@@ -642,8 +642,12 @@ fn find_prior_snapshot(dir: &Path, current: &Path) -> Option<PathBuf> {
 
 fn cmd_bench_report(flags: &Flags) -> Result<(), CliError> {
     let smoke = flags.has("smoke");
-    let out_raw = flags.get("out").unwrap_or("BENCH_PR4.json");
-    let regress_pct = flags.get_num::<f64>("threshold")?.unwrap_or(10.0);
+    let out_raw = flags.get("out").unwrap_or("BENCH_PR5.json");
+    // --gate PCT is the CI form: it sets the regression threshold AND makes
+    // any crossing (or a missing/unreadable baseline) a non-zero exit.
+    let gate = flags.get_num::<f64>("gate")?;
+    let regress_pct = gate.or(flags.get_num::<f64>("threshold")?).unwrap_or(10.0);
+    let strict = flags.has("strict") || gate.is_some();
     if smoke {
         println!("bench-report: smoke mode (tiny measurement budget; numbers are schema checks, not data)");
     }
@@ -683,15 +687,25 @@ fn cmd_bench_report(flags: &Flags) -> Result<(), CliError> {
         h.records().len()
     );
 
-    // Diff against the most recent prior snapshot, if one exists. Absent
-    // or malformed priors are reported, never fatal.
+    // Diff against --baseline, or the most recent prior snapshot. Absent
+    // or malformed priors are reported, never fatal — unless gating, where
+    // a gate with nothing to gate against must fail loudly.
     let dir = out_path
         .parent()
         .filter(|p| !p.as_os_str().is_empty())
         .map_or_else(|| PathBuf::from("."), Path::to_path_buf);
-    let Some(prior_path) = find_prior_snapshot(&dir, &out_path) else {
-        println!("no prior BENCH_*.json snapshot to diff against");
-        return Ok(());
+    let prior_path = match flags.get("baseline") {
+        Some(p) => PathBuf::from(p),
+        None => match find_prior_snapshot(&dir, &out_path) {
+            Some(p) => p,
+            None => {
+                if gate.is_some() {
+                    return Err("bench gate: no baseline BENCH_*.json snapshot found".into());
+                }
+                println!("no prior BENCH_*.json snapshot to diff against");
+                return Ok(());
+            }
+        },
     };
     let prior = match std::fs::read_to_string(&prior_path)
         .map_err(|e| e.to_string())
@@ -699,6 +713,13 @@ fn cmd_bench_report(flags: &Flags) -> Result<(), CliError> {
     {
         Ok(json) => json,
         Err(e) => {
+            if gate.is_some() {
+                return Err(format!(
+                    "bench gate: cannot read baseline {}: {e}",
+                    prior_path.display()
+                )
+                .into());
+            }
             println!("cannot diff against {}: {e}", prior_path.display());
             return Ok(());
         }
@@ -731,7 +752,7 @@ fn cmd_bench_report(flags: &Flags) -> Result<(), CliError> {
             "{regressions} benchmark(s) regressed more than {regress_pct:.0}% \
              (timing noise is expected in smoke mode)"
         );
-        if flags.has("strict") {
+        if strict {
             return Err(format!("{regressions} benchmark regression(s) over threshold").into());
         }
     }
@@ -869,9 +890,12 @@ COMMANDS:
              fresh): max activations-per-residency vs T_RRS verdict,
              relocation entropy, optional Perfetto timeline export
     bench-report [--smoke] [--out FILE] [--threshold PCT] [--strict]
+             [--gate PCT] [--baseline FILE]
              run the standard bench suite, snapshot medians to
-             BENCH_*.json (default BENCH_PR4.json), diff against the
-             most recent prior snapshot and flag regressions
+             BENCH_*.json (default BENCH_PR5.json), diff against
+             --baseline (default: most recent prior snapshot) and
+             flag regressions; --gate PCT exits non-zero when any
+             median regresses more than PCT% (or no baseline exists)
     capture  --workload <name> --records N --out <file> [--text]
     replay   --trace <file> --defense <d>                   replay a trace file
     analyze  --what table4|table5|duty-cycle                analytic models
@@ -1165,6 +1189,45 @@ mpki 12
         // Second run with a prior present: the diff path executes.
         std::fs::rename(&out, dir.join("BENCH_PR3.json")).unwrap();
         dispatch(&argv(&cmd)).unwrap();
+    }
+
+    #[test]
+    fn bench_report_gate_exits_nonzero_on_regression() {
+        let dir = std::env::temp_dir().join("rrs_cli_bench_gate");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("BENCH_GATE_OUT.json");
+
+        // Gate with no baseline anywhere: must fail, a silent pass is useless.
+        let cmd = format!("bench-report --smoke --gate 50 --out {}", out.display());
+        assert!(dispatch(&argv(&cmd)).is_err());
+
+        // A generous gate against a real smoke snapshot passes (threshold is
+        // huge so timing noise cannot trip it).
+        let baseline = dir.join("BENCH_BASE.json");
+        let seed = format!("bench-report --smoke --out {}", baseline.display());
+        dispatch(&argv(&seed)).unwrap();
+        let cmd = format!(
+            "bench-report --smoke --gate 100000 --baseline {} --out {}",
+            baseline.display(),
+            out.display()
+        );
+        dispatch(&argv(&cmd)).unwrap();
+
+        // A baseline with an absurdly fast median forces a regression over
+        // any threshold: the gate must exit non-zero.
+        let doctored = dir.join("BENCH_DOCTORED.json");
+        std::fs::write(
+            &doctored,
+            r#"{"schema":"rrs-bench-v1","benches":{"prince/encrypt":{"median_ns":0.0001}}}"#,
+        )
+        .unwrap();
+        let cmd = format!(
+            "bench-report --smoke --gate 50 --baseline {} --out {}",
+            doctored.display(),
+            out.display()
+        );
+        assert!(dispatch(&argv(&cmd)).is_err());
     }
 
     #[test]

@@ -104,6 +104,24 @@ pub enum AuditError {
         /// Lifetime swaps.
         swaps: u64,
     },
+    /// The CAT's flat lookup index disagrees with an authoritative two-set
+    /// scan for a resident tag — the hot-path lookup and the slot arrays
+    /// have diverged.
+    CatIndexIncoherent {
+        /// The tag the index mishandles.
+        tag: u64,
+    },
+    /// A resolve-TLB line caches a value the underlying CATs contradict —
+    /// an invalidation was missed.
+    RitTlbIncoherent {
+        /// The cached key (logical row for the forward direction, physical
+        /// row for the reverse direction).
+        key: u64,
+        /// The value the TLB serves.
+        cached: u64,
+        /// What the authoritative CAT lookup returns.
+        actual: u64,
+    },
 }
 
 impl fmt::Display for AuditError {
@@ -156,6 +174,20 @@ impl fmt::Display for AuditError {
                 f,
                 "swap engine epoch counter ({epoch_swaps}) exceeds lifetime swaps ({swaps})"
             ),
+            AuditError::CatIndexIncoherent { tag } => {
+                write!(
+                    f,
+                    "CAT flat index disagrees with slot scan for tag {tag:#x}"
+                )
+            }
+            AuditError::RitTlbIncoherent {
+                key,
+                cached,
+                actual,
+            } => write!(
+                f,
+                "RIT resolve-TLB caches {key} -> {cached}, but the CATs say {actual}"
+            ),
         }
     }
 }
@@ -205,8 +237,25 @@ impl RitAudit {
         // reverse entry could still point at a logical row whose forward
         // entry names a *different* physical location.
         for (physical, &logical) in rit.reverse_cat().iter() {
-            if rit.resolve(logical) != physical {
+            if rit.resolve_uncached(logical) != physical {
                 return Err(AuditError::RitInverseBroken { logical, physical });
+            }
+        }
+        // Resolve-TLB coherence: every cached line must agree with the
+        // authoritative (uncached) lookup — a disagreement means a mutation
+        // skipped its invalidation.
+        for (direction, key, cached) in rit.tlb_entries() {
+            let actual = if direction == 0 {
+                rit.resolve_uncached(key)
+            } else {
+                rit.occupant_uncached(key)
+            };
+            if cached != actual {
+                return Err(AuditError::RitTlbIncoherent {
+                    key,
+                    cached,
+                    actual,
+                });
             }
         }
         Ok(())
@@ -250,6 +299,15 @@ impl CatAudit {
                 len: cat.len(),
                 occupied,
             });
+        }
+        // Flat-index coherence: the indexed lookup must agree with the
+        // authoritative two-set scan for every resident tag (a stale or
+        // missing index entry makes a live entry unfindable on the hot
+        // path).
+        for (tag, _) in cat.iter() {
+            if cat.locate(tag) != cat.find_by_scan(tag) {
+                return Err(AuditError::CatIndexIncoherent { tag });
+            }
         }
         Ok(())
     }

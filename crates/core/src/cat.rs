@@ -18,6 +18,8 @@
 
 use std::fmt;
 
+use rrs_flat::FlatMap;
+
 use crate::prince::Prince;
 
 /// Shape of a CAT.
@@ -152,9 +154,35 @@ pub struct Cat<V> {
     hashers: [Prince; 2],
     /// `tables[t][set * ways + way]`.
     tables: [Vec<Option<Slot<V>>>; 2],
+    /// Tag → packed `(table, set, way)` mirror of the slot arrays, so a
+    /// lookup costs one flat-map probe instead of two PRINCE hashes plus a
+    /// 2 × ways scan. Hits verify against the authoritative slot tag; the
+    /// slot arrays remain the source of truth.
+    index: FlatMap<u64>,
+    /// `occupied[table][set]`: valid-slot count of the set, kept exact on
+    /// every place/take so install-time occupancy checks are O(1) instead
+    /// of a `ways`-slot scan per candidate set.
+    occupied: [Vec<u8>; 2],
     len: usize,
     /// Lifetime count of installs that needed Cuckoo relocation.
     relocations: u64,
+}
+
+/// Packs a [`SlotIndex`] into one word for the lookup index (`set` and
+/// `way` are bounded far below 2²⁴ by any constructible config).
+#[inline]
+fn pack_loc((table, set, way): SlotIndex) -> u64 {
+    ((table as u64) << 48) | ((set as u64) << 24) | way as u64
+}
+
+/// Inverse of [`pack_loc`].
+#[inline]
+fn unpack_loc(packed: u64) -> SlotIndex {
+    (
+        (packed >> 48) as usize,
+        ((packed >> 24) & 0xFF_FFFF) as usize,
+        (packed & 0xFF_FFFF) as usize,
+    )
 }
 
 impl<V> Cat<V> {
@@ -180,6 +208,8 @@ impl<V> Cat<V> {
                 Prince::new(config.hash_seed ^ 0xfedc_ba98_7654_3210_0000_0000_0000_0001),
             ],
             tables: [t0, t1],
+            index: FlatMap::new(),
+            occupied: [vec![0; config.sets], vec![0; config.sets]],
             len: 0,
             relocations: 0,
         }
@@ -258,7 +288,26 @@ impl<V> Cat<V> {
         self.table_mut(table).get_mut(range).unwrap_or(&mut [])
     }
 
+    /// Locates `tag` through the flat index — zero hashes on the common
+    /// path. The indexed location is verified against the slot's own tag,
+    /// so a stale or corrupted index entry reads as a miss, exactly like
+    /// the original two-set scan.
     fn find(&self, tag: u64) -> Option<SlotIndex> {
+        let (t, set, way) = unpack_loc(*self.index.get(tag)?);
+        let slot = self.set_slots(t, set).get(way)?.as_ref()?;
+        if slot.tag == tag {
+            Some((t, set, way))
+        } else {
+            None
+        }
+    }
+
+    /// The pre-index lookup: hash into both candidate sets and scan their
+    /// ways. Kept as the differential reference for the index
+    /// ([`crate::audit::CatAudit`] and the property tests compare against
+    /// it).
+    #[doc(hidden)]
+    pub fn find_by_scan(&self, tag: u64) -> Option<SlotIndex> {
         for t in 0..2 {
             let set = self.set_of(t, tag);
             for (way, slot) in self.set_slots(t, set).iter().enumerate() {
@@ -298,10 +347,30 @@ impl<V> Cat<V> {
     }
 
     fn invalid_ways_in(&self, table: usize, set: usize) -> usize {
-        self.set_slots(table, set)
-            .iter()
-            .filter(|s| s.is_none())
-            .count()
+        let valid = self
+            .occupied
+            .get(table)
+            .and_then(|v| v.get(set))
+            .copied()
+            .map_or(0, usize::from);
+        let invalid = self.config.ways().saturating_sub(valid);
+        debug_assert_eq!(
+            invalid,
+            self.set_slots(table, set)
+                .iter()
+                .filter(|s| s.is_none())
+                .count(),
+            "occupancy counter out of sync with the slot array"
+        );
+        invalid
+    }
+
+    /// Adjusts one set's occupancy counter by `delta` (every slot
+    /// place/take funnels through here).
+    fn bump_occupied(&mut self, table: usize, set: usize, delta: i8) {
+        if let Some(occ) = self.occupied.get_mut(table).and_then(|v| v.get_mut(set)) {
+            *occ = occ.wrapping_add_signed(delta);
+        }
     }
 
     /// Installs `tag -> value`, choosing the less-loaded of its two
@@ -353,6 +422,7 @@ impl<V> Cat<V> {
                         .get_mut(way)
                         .and_then(|s| s.take());
                     if let Some(slot) = taken {
+                        self.bump_occupied(t, set, -1);
                         self.len -= 1;
                         // The alternate set was just checked to have room,
                         // so this place() cannot fail.
@@ -373,16 +443,27 @@ impl<V> Cat<V> {
         let slots = self.set_slots_mut(table, set);
         let way = slots.iter().position(|s| s.is_none())?;
         *slots.get_mut(way)? = Some(Slot { tag, value });
+        self.index.insert(tag, pack_loc((table, set, way)));
+        self.bump_occupied(table, set, 1);
         self.len += 1;
         Some((table, set, way))
     }
 
     /// Removes `tag`, returning its value.
     pub fn remove(&mut self, tag: u64) -> Option<V> {
+        self.remove_entry(tag).map(|(_, value)| value)
+    }
+
+    /// Removes `tag`, returning its (former) location together with its
+    /// value — one index probe instead of the `locate` + `remove` pair
+    /// callers that repair per-set metadata would otherwise pay.
+    pub fn remove_entry(&mut self, tag: u64) -> Option<(SlotIndex, V)> {
         let (t, set, way) = self.find(tag)?;
         let slot = self.set_slots_mut(t, set).get_mut(way)?.take()?;
+        self.index.remove(tag);
+        self.bump_occupied(t, set, -1);
         self.len -= 1;
-        Some(slot.value)
+        Some(((t, set, way), slot.value))
     }
 
     /// Removes every entry.
@@ -392,6 +473,10 @@ impl<V> Cat<V> {
                 *s = None;
             }
         }
+        for occ in &mut self.occupied {
+            occ.iter_mut().for_each(|o| *o = 0);
+        }
+        self.index.clear();
         self.len = 0;
     }
 
@@ -431,6 +516,14 @@ impl<V> Cat<V> {
             }
         }
         false
+    }
+
+    /// Test-only corruption: drops `tag` from the flat lookup index while
+    /// leaving its slot resident, so the index-coherence audit must flag
+    /// the divergence. Returns `false` if `tag` was not indexed.
+    #[doc(hidden)]
+    pub fn corrupt_index_for_test(&mut self, tag: u64) -> bool {
+        self.index.remove(tag).is_some()
     }
 
     /// Picks the `n`-th valid entry in slot order, wrapping around; `None`
@@ -598,6 +691,37 @@ mod tests {
         // 4 physical slots; we can never hold more than 4.
         assert!(installed <= 4);
         assert_eq!(cat.len() as u64, installed);
+    }
+
+    #[test]
+    fn index_agrees_with_scan_under_churn() {
+        // Heavy insert/remove churn, including Cuckoo relocations: the flat
+        // index must agree with the authoritative two-set scan on every
+        // lookup, hit or miss.
+        let mut cat: Cat<u64> = Cat::new(CatConfig {
+            sets: 4,
+            demand_ways: 2,
+            extra_ways: 1,
+            hash_seed: 99,
+        });
+        let mut x = 0x1234_5678u64;
+        for step in 0..20_000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let tag = (x >> 33) % 64;
+            if cat.contains(tag) {
+                assert_eq!(cat.remove(tag), Some(tag), "step {step}");
+            } else {
+                let _ = cat.insert(tag, tag);
+            }
+            for probe in 0..64u64 {
+                assert_eq!(
+                    cat.locate(probe),
+                    cat.find_by_scan(probe),
+                    "step {step}, probe {probe}"
+                );
+            }
+        }
+        assert!(cat.relocations() > 0, "churn never exercised relocation");
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! small per-row alarm threshold catches the §5.3 swap-chasing attack with
 //! no false positives in practice.
 
-use std::collections::BTreeMap;
+use rrs_flat::FlatMap;
 
 /// Detector parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,7 +35,7 @@ impl Default for DetectorConfig {
 #[derive(Debug, Clone, Default)]
 pub struct SwapDetector {
     config: DetectorConfig,
-    swaps_this_epoch: BTreeMap<u64, u32>,
+    swaps_this_epoch: FlatMap<u32>,
     alarms: u64,
 }
 
@@ -44,7 +44,7 @@ impl SwapDetector {
     pub fn new(config: DetectorConfig) -> Self {
         SwapDetector {
             config,
-            swaps_this_epoch: BTreeMap::new(),
+            swaps_this_epoch: FlatMap::new(),
             alarms: 0,
         }
     }
@@ -57,7 +57,7 @@ impl SwapDetector {
     /// Records that `row` was swapped; returns `true` if this row's swap
     /// count just reached the alarm threshold.
     pub fn record_swap(&mut self, row: u64) -> bool {
-        let c = self.swaps_this_epoch.entry(row).or_insert(0);
+        let c = self.swaps_this_epoch.get_or_insert_with(row, || 0);
         *c += 1;
         if *c == self.config.swaps_per_row_alarm {
             self.alarms += 1;
@@ -69,7 +69,7 @@ impl SwapDetector {
 
     /// Swaps recorded for `row` this epoch.
     pub fn swaps_of(&self, row: u64) -> u32 {
-        self.swaps_this_epoch.get(&row).copied().unwrap_or(0)
+        self.swaps_this_epoch.get(row).copied().unwrap_or(0)
     }
 
     /// Lifetime alarm count.

@@ -148,16 +148,6 @@ const fn build_m_prime_bytes() -> [[u64; 256]; 8] {
 
 const M_PRIME_BYTES: [[u64; 256]; 8] = build_m_prime_bytes();
 
-#[inline]
-fn m_prime(state: u64) -> u64 {
-    let mut out = 0u64;
-    for (table, byte) in M_PRIME_BYTES.iter().zip(state.to_be_bytes()) {
-        // lint: allow(index-panic) — a u8 index into a 256-entry table is always in bounds
-        out ^= table[byte as usize];
-    }
-    out
-}
-
 /// Byte-level S-box tables (two nibbles per lookup).
 const fn build_sbox_bytes(sbox: &[u8; 16]) -> [u8; 256] {
     let mut t = [0u8; 256];
@@ -180,41 +170,113 @@ fn apply_sbox_bytes(state: u64, table: &[u8; 256]) -> u64 {
     })
 }
 
-#[inline]
-fn apply_sbox(state: u64, sbox: &[u8; 16]) -> u64 {
-    // Dispatch to the byte tables for the two production S-boxes; the
-    // generic path remains for tests against arbitrary boxes.
-    if std::ptr::eq(sbox, &SBOX) {
-        return apply_sbox_bytes(state, &SBOX_BYTES);
-    }
-    if std::ptr::eq(sbox, &SBOX_INV) {
-        return apply_sbox_bytes(state, &SBOX_INV_BYTES);
-    }
+/// Const-evaluable `M'` (XOR of output columns over set input bits); the
+/// runtime path uses the byte tables, this exists to build fused tables.
+const fn m_prime_const(x: u64) -> u64 {
     let mut out = 0u64;
-    for i in 0..16 {
-        let nib = ((state >> (60 - 4 * i)) & 0xF) as usize;
-        // lint: allow(index-panic) — nibble-masked index into a 16-entry box
-        out |= (sbox[nib] as u64) << (60 - 4 * i);
+    let mut i = 0;
+    while i < 64 {
+        if x & (1u64 << (63 - i)) != 0 {
+            out ^= M_PRIME_COLS[i];
+        }
+        i += 1;
     }
     out
 }
 
-#[inline]
-fn permute_nibbles(state: u64, perm: &[usize; 16]) -> u64 {
+/// Const-evaluable nibble permutation (same semantics as the former
+/// runtime `permute_nibbles`, retained in the tests for cross-checking).
+const fn permute_nibbles_const(state: u64, perm: &[usize; 16]) -> u64 {
     let mut out = 0u64;
-    for (i, &src) in perm.iter().enumerate() {
-        let nib = (state >> (60 - 4 * src)) & 0xF;
+    let mut i = 0;
+    while i < 16 {
+        let nib = (state >> (60 - 4 * perm[i])) & 0xF;
         out |= nib << (60 - 4 * i);
+        i += 1;
+    }
+    out
+}
+
+/// Fused forward-round tables: `T_FWD[b][v]` is `SR(M'(S(v at byte b)))`.
+/// The S-box is byte-local and `M'`/`SR` are linear over GF(2), so a full
+/// forward round body is the XOR of eight lookups instead of three passes.
+const fn build_round_fwd() -> [[u64; 256]; 8] {
+    let mut t = [[0u64; 256]; 8];
+    let mut b = 0;
+    while b < 8 {
+        let mut v = 0;
+        while v < 256 {
+            t[b][v] = permute_nibbles_const(M_PRIME_BYTES[b][SBOX_BYTES[v] as usize], &SR);
+            v += 1;
+        }
+        b += 1;
+    }
+    t
+}
+
+const T_FWD: [[u64; 256]; 8] = build_round_fwd();
+
+/// Fused backward-round linear tables: `T_BWD[b][v]` is
+/// `M'(SR⁻¹(v at byte b))`. A backward round is eight lookups followed by
+/// one byte-table inverse S-box pass.
+const fn build_round_bwd() -> [[u64; 256]; 8] {
+    let mut t = [[0u64; 256]; 8];
+    let mut b = 0;
+    while b < 8 {
+        let mut v = 0;
+        while v < 256 {
+            let placed = (v as u64) << ((7 - b) * 8);
+            t[b][v] = m_prime_const(permute_nibbles_const(placed, &SR_INV));
+            v += 1;
+        }
+        b += 1;
+    }
+    t
+}
+
+const T_BWD: [[u64; 256]; 8] = build_round_bwd();
+
+/// Fused middle-layer tables: `T_MID[b][v]` is `M'(S(v at byte b))` — the
+/// composition of the byte S-box and the `M'` byte tables.
+const fn build_round_mid() -> [[u64; 256]; 8] {
+    let mut t = [[0u64; 256]; 8];
+    let mut b = 0;
+    while b < 8 {
+        let mut v = 0;
+        while v < 256 {
+            t[b][v] = M_PRIME_BYTES[b][SBOX_BYTES[v] as usize];
+            v += 1;
+        }
+        b += 1;
+    }
+    t
+}
+
+const T_MID: [[u64; 256]; 8] = build_round_mid();
+
+/// XORs the eight per-byte table lookups for `state` — the linear part of
+/// one fused round.
+#[inline]
+fn fused_round(state: u64, tables: &[[u64; 256]; 8]) -> u64 {
+    let mut out = 0u64;
+    for (table, byte) in tables.iter().zip(state.to_be_bytes()) {
+        // A u8 index into a 256-entry table is always in bounds, so the
+        // `.get` never misses and the fallback is unreachable.
+        out ^= table.get(usize::from(byte)).copied().unwrap_or(0);
     }
     out
 }
 
 /// The PRINCE block cipher with a fixed 128-bit key.
+///
+/// The per-round keys `RC[i] ^ k1` are expanded once at construction
+/// (`rks`), so the per-block work is pure table lookups and XORs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Prince {
     k0: u64,
     k0_prime: u64,
     k1: u64,
+    rks: [u64; 12],
 }
 
 impl Prince {
@@ -223,10 +285,22 @@ impl Prince {
     pub fn new(key: u128) -> Self {
         let k0 = (key >> 64) as u64;
         let k1 = key as u64;
+        Self::from_parts(k0, k0.rotate_right(1) ^ (k0 >> 63), k1)
+    }
+
+    /// Builds a cipher from explicit subkeys, expanding the round-key
+    /// schedule. `new` and the α-reflected cipher in `decrypt` both funnel
+    /// through here.
+    fn from_parts(k0: u64, k0_prime: u64, k1: u64) -> Self {
+        let mut rks = [0u64; 12];
+        for (rk, rc) in rks.iter_mut().zip(RC) {
+            *rk = rc ^ k1;
+        }
         Prince {
             k0,
-            k0_prime: k0.rotate_right(1) ^ (k0 >> 63),
+            k0_prime,
             k1,
+            rks,
         }
     }
 
@@ -237,43 +311,58 @@ impl Prince {
 
     /// Encrypts one 64-bit block.
     pub fn encrypt(&self, plaintext: u64) -> u64 {
-        let mut s = plaintext ^ self.k0;
-        s ^= self.k1 ^ RC[0];
-        for rc in RC.iter().take(6).skip(1) {
-            s = apply_sbox(s, &SBOX);
-            s = m_prime(s);
-            s = permute_nibbles(s, &SR);
-            s ^= rc ^ self.k1;
+        let mut s = plaintext ^ self.k0 ^ self.rks[0];
+        for rk in self.rks.iter().take(6).skip(1) {
+            s = fused_round(s, &T_FWD) ^ rk;
         }
-        s = apply_sbox(s, &SBOX);
-        s = m_prime(s);
-        s = apply_sbox(s, &SBOX_INV);
-        for rc in RC.iter().take(11).skip(6) {
-            s ^= rc ^ self.k1;
-            s = permute_nibbles(s, &SR_INV);
-            s = m_prime(s);
-            s = apply_sbox(s, &SBOX_INV);
+        s = apply_sbox_bytes(fused_round(s, &T_MID), &SBOX_INV_BYTES);
+        for rk in self.rks.iter().take(11).skip(6) {
+            s = apply_sbox_bytes(fused_round(s ^ rk, &T_BWD), &SBOX_INV_BYTES);
         }
-        s ^= self.k1 ^ RC[11];
-        s ^ self.k0_prime
+        s ^ self.rks[11] ^ self.k0_prime
     }
 
     /// Decrypts one 64-bit block.
     ///
     /// Uses the α-reflection property: `D(k0, k0', k1) = E(k0', k0, k1 ^ α)`.
     pub fn decrypt(&self, ciphertext: u64) -> u64 {
-        let reflected = Prince {
-            k0: self.k0_prime,
-            k0_prime: self.k0,
-            k1: self.k1 ^ ALPHA,
-        };
-        reflected.encrypt(ciphertext)
+        Self::from_parts(self.k0_prime, self.k0, self.k1 ^ ALPHA).encrypt(ciphertext)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Reference `M'` straight off the byte tables (the fused tables are
+    /// checked against this below).
+    fn m_prime(state: u64) -> u64 {
+        let mut out = 0u64;
+        for (table, byte) in M_PRIME_BYTES.iter().zip(state.to_be_bytes()) {
+            out ^= table[byte as usize];
+        }
+        out
+    }
+
+    /// Reference nibble-at-a-time S-box layer.
+    fn apply_sbox(state: u64, sbox: &[u8; 16]) -> u64 {
+        let mut out = 0u64;
+        for i in 0..16 {
+            let nib = ((state >> (60 - 4 * i)) & 0xF) as usize;
+            out |= (sbox[nib] as u64) << (60 - 4 * i);
+        }
+        out
+    }
+
+    /// Reference runtime nibble permutation.
+    fn permute_nibbles(state: u64, perm: &[usize; 16]) -> u64 {
+        let mut out = 0u64;
+        for (i, &src) in perm.iter().enumerate() {
+            let nib = (state >> (60 - 4 * src)) & 0xF;
+            out |= nib << (60 - 4 * i);
+        }
+        out
+    }
 
     /// Test vectors from the PRINCE paper (Borghoff et al. 2012, Appendix A).
     const VECTORS: &[(u64, u64, u64, u64)] = &[
@@ -331,6 +420,37 @@ mod tests {
         for _ in 0..200 {
             x = x.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(13);
             assert_eq!(m_prime(m_prime(x)), x);
+        }
+    }
+
+    #[test]
+    fn const_helpers_match_reference() {
+        let mut x = 3u64;
+        for _ in 0..200 {
+            x = x.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(17);
+            assert_eq!(m_prime_const(x), m_prime(x));
+            assert_eq!(permute_nibbles_const(x, &SR), permute_nibbles(x, &SR));
+            assert_eq!(
+                permute_nibbles_const(x, &SR_INV),
+                permute_nibbles(x, &SR_INV)
+            );
+        }
+    }
+
+    #[test]
+    fn fused_rounds_match_unfused_composition() {
+        let mut s = 0x0123_4567_89ab_cdefu64;
+        for _ in 0..500 {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            // Forward round body: S → M' → SR.
+            let fwd = permute_nibbles(m_prime(apply_sbox(s, &SBOX)), &SR);
+            assert_eq!(fused_round(s, &T_FWD), fwd, "forward round at {s:016x}");
+            // Backward round linear part: SR⁻¹ → M' (S⁻¹ applied after).
+            let bwd = m_prime(permute_nibbles(s, &SR_INV));
+            assert_eq!(fused_round(s, &T_BWD), bwd, "backward round at {s:016x}");
+            // Middle layer: S → M' (S⁻¹ applied after).
+            let mid = m_prime(apply_sbox(s, &SBOX));
+            assert_eq!(fused_round(s, &T_MID), mid, "middle layer at {s:016x}");
         }
     }
 

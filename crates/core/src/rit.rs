@@ -19,9 +19,85 @@
 //! * evicting an entry restores the row to its home location via a physical
 //!   row-swap, whose cost the caller accounts.
 
+use std::cell::Cell;
 use std::fmt;
 
+use rrs_telemetry::{Counter, Telemetry};
+
 use crate::cat::{Cat, CatConfig};
+
+/// Entries per resolve-TLB direction (direct-mapped, power of two).
+const TLB_ENTRIES: usize = 1024;
+
+/// Index mask for the direct-mapped TLB.
+const TLB_MASK: u64 = TLB_ENTRIES as u64 - 1;
+
+/// Tag marking an empty TLB entry. Row ids never reach `u64::MAX` (they are
+/// bounded by rows-per-bank), and a key equal to the sentinel is simply
+/// never cached, so the sentinel cannot alias a real row.
+const TLB_EMPTY: u64 = u64::MAX;
+
+/// One direction of the resolve-TLB: a direct-mapped array of
+/// `(key, value)` pairs with interior mutability, so lookups through
+/// `&self` can fill it. Purely a cache — the CATs stay authoritative, and
+/// every mutation invalidates the affected lines precisely.
+#[derive(Debug, Clone)]
+struct ResolveTlb {
+    lines: Vec<Cell<(u64, u64)>>,
+    hits: Counter,
+    misses: Counter,
+}
+
+impl ResolveTlb {
+    fn new(hits: Counter, misses: Counter) -> Self {
+        ResolveTlb {
+            lines: vec![Cell::new((TLB_EMPTY, 0)); TLB_ENTRIES],
+            hits,
+            misses,
+        }
+    }
+
+    /// Cached value for `key`, or `None` on a miss (counted).
+    #[inline]
+    fn lookup(&self, key: u64) -> Option<u64> {
+        let line = self.lines.get((key & TLB_MASK) as usize)?;
+        let (tag, value) = line.get();
+        if tag == key {
+            self.hits.inc();
+            Some(value)
+        } else {
+            self.misses.inc();
+            None
+        }
+    }
+
+    /// Fills `key -> value` after a miss.
+    #[inline]
+    fn fill(&self, key: u64, value: u64) {
+        if key == TLB_EMPTY {
+            return;
+        }
+        if let Some(line) = self.lines.get((key & TLB_MASK) as usize) {
+            line.set((key, value));
+        }
+    }
+
+    /// Drops the line that could cache `key`.
+    #[inline]
+    fn invalidate(&mut self, key: u64) {
+        if let Some(line) = self.lines.get((key & TLB_MASK) as usize) {
+            line.set((TLB_EMPTY, 0));
+        }
+    }
+
+    /// The occupied `(key, value)` pairs, for the coherence audit.
+    fn entries(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.lines
+            .iter()
+            .map(Cell::get)
+            .filter(|&(tag, _)| tag != TLB_EMPTY)
+    }
+}
 
 /// A physical exchange of two DRAM rows' contents, to be executed (and
 /// charged) by the memory controller / swap engine.
@@ -85,7 +161,12 @@ pub struct RowIndirectionTable {
     forward: Cat<ForwardEntry>,
     reverse: Cat<u64>,
     tuple_capacity: usize,
+    /// Direct-mapped cache in front of [`RowIndirectionTable::resolve`].
+    tlb_fwd: ResolveTlb,
+    /// Direct-mapped cache in front of [`RowIndirectionTable::occupant`].
+    tlb_rev: ResolveTlb,
     /// Mutation counter driving the sampled debug-build ghost audit.
+    #[cfg(debug_assertions)]
     audit_tick: u64,
 }
 
@@ -96,12 +177,36 @@ impl RowIndirectionTable {
         let fwd_cfg = CatConfig::for_capacity(tuple_capacity.max(1), 14, 6).with_seed(hash_seed);
         let rev_cfg = CatConfig::for_capacity(tuple_capacity.max(1), 14, 6)
             .with_seed(hash_seed ^ 0x0052_4556_4552_5345_u128); // "REVERSE" tag
+                                                                // Counters start on a null spine (zero overhead); a controller that
+                                                                // wants them on its registry calls `attach_telemetry`.
+        let telemetry = Telemetry::new();
         RowIndirectionTable {
             forward: Cat::new(fwd_cfg),
             reverse: Cat::new(rev_cfg),
             tuple_capacity,
+            tlb_fwd: ResolveTlb::new(
+                telemetry.counter("rit.tlb.hits"),
+                telemetry.counter("rit.tlb.misses"),
+            ),
+            tlb_rev: ResolveTlb::new(
+                telemetry.counter("rit.tlb.hits"),
+                telemetry.counter("rit.tlb.misses"),
+            ),
+            #[cfg(debug_assertions)]
             audit_tick: 0,
         }
+    }
+
+    /// Adopts a shared telemetry spine: the `rit.tlb.*` hit/miss counters
+    /// are re-registered there (idempotent by name, so every bank's RIT
+    /// shares the same aggregate counters).
+    pub fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        let hits = telemetry.counter("rit.tlb.hits");
+        let misses = telemetry.counter("rit.tlb.misses");
+        self.tlb_fwd.hits = hits.clone();
+        self.tlb_fwd.misses = misses.clone();
+        self.tlb_rev.hits = hits;
+        self.tlb_rev.misses = misses;
     }
 
     /// The forward (logical → physical) CAT, for the ghost-state audit.
@@ -116,17 +221,37 @@ impl RowIndirectionTable {
 
     /// Sampled debug-build ghost audit: every mutation ticks the counter,
     /// and the full permutation check runs on the first and every 64th
-    /// mutation so property tests keep their cost near-linear.
+    /// mutation so property tests keep their cost near-linear. The counter
+    /// itself only exists in debug builds, so release builds pay nothing —
+    /// not even the increment.
+    #[inline]
     fn maybe_audit(&mut self) {
-        self.audit_tick = self.audit_tick.wrapping_add(1);
         #[cfg(debug_assertions)]
         {
+            self.audit_tick = self.audit_tick.wrapping_add(1);
             if self.audit_tick == 1 || self.audit_tick.is_multiple_of(64) {
                 if let Err(e) = crate::audit::RitAudit::verify(self) {
                     panic!("RIT ghost-state audit failed: {e}");
                 }
             }
         }
+    }
+
+    /// The occupied resolve-TLB lines as `(direction, key, value)`, for the
+    /// ghost-state audit's coherence check (`direction` 0 = forward/resolve,
+    /// 1 = reverse/occupant).
+    pub(crate) fn tlb_entries(&self) -> impl Iterator<Item = (usize, u64, u64)> + '_ {
+        self.tlb_fwd
+            .entries()
+            .map(|(k, v)| (0, k, v))
+            .chain(self.tlb_rev.entries().map(|(k, v)| (1, k, v)))
+    }
+
+    /// Test-only corruption: force-fills a forward resolve-TLB line with a
+    /// value the CATs contradict, so the TLB-coherence audit must flag it.
+    #[doc(hidden)]
+    pub fn corrupt_tlb_for_test(&mut self, logical: u64, physical: u64) {
+        self.tlb_fwd.fill(logical, physical);
     }
 
     /// Test-only corruption: installs a forward entry with no reverse
@@ -164,7 +289,23 @@ impl RowIndirectionTable {
 
     /// Physical row currently holding logical row `logical` (§4.1 step ②/③:
     /// redirect if present, original location otherwise).
+    ///
+    /// Served from the resolve-TLB when possible; misses consult the
+    /// forward CAT and fill the cache.
     pub fn resolve(&self, logical: u64) -> u64 {
+        if let Some(physical) = self.tlb_fwd.lookup(logical) {
+            return physical;
+        }
+        let physical = self.resolve_uncached(logical);
+        self.tlb_fwd.fill(logical, physical);
+        physical
+    }
+
+    /// `resolve` straight off the forward CAT, bypassing the TLB. The
+    /// differential tests and the ghost audit compare the cached path
+    /// against this.
+    #[doc(hidden)]
+    pub fn resolve_uncached(&self, logical: u64) -> u64 {
         self.forward
             .get(logical)
             .map(|e| e.physical)
@@ -172,7 +313,21 @@ impl RowIndirectionTable {
     }
 
     /// Logical row currently residing at physical location `physical`.
+    ///
+    /// Served from the resolve-TLB when possible; misses consult the
+    /// reverse CAT and fill the cache.
     pub fn occupant(&self, physical: u64) -> u64 {
+        if let Some(logical) = self.tlb_rev.lookup(physical) {
+            return logical;
+        }
+        let logical = self.occupant_uncached(physical);
+        self.tlb_rev.fill(physical, logical);
+        logical
+    }
+
+    /// `occupant` straight off the reverse CAT, bypassing the TLB.
+    #[doc(hidden)]
+    pub fn occupant_uncached(&self, physical: u64) -> u64 {
         self.reverse.get(physical).copied().unwrap_or(physical)
     }
 
@@ -190,8 +345,10 @@ impl RowIndirectionTable {
 
     /// Removes the forward/reverse pair of `logical`, if any.
     fn clear_mapping(&mut self, logical: u64) {
+        self.tlb_fwd.invalidate(logical);
         if let Some(old) = self.forward.remove(logical) {
             self.reverse.remove(old.physical);
+            self.tlb_rev.invalidate(old.physical);
         }
     }
 
@@ -202,6 +359,8 @@ impl RowIndirectionTable {
         if logical == physical {
             return Ok(()); // back home: identity mappings are not stored
         }
+        self.tlb_fwd.invalidate(logical);
+        self.tlb_rev.invalidate(physical);
         self.forward
             .insert(logical, ForwardEntry { physical, locked })
             .map_err(|_| RitError::TableConflict)?;

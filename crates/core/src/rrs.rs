@@ -198,10 +198,12 @@ impl<T: HotRowTracker> BankRrs<T> {
         &self.config
     }
 
-    /// Adopts a shared telemetry spine, forwarding it to the tracker (all
-    /// banks share the `hrt.*` / `cat.*` aggregate counters by name).
+    /// Adopts a shared telemetry spine, forwarding it to the tracker and
+    /// the RIT (all banks share the `hrt.*` / `cat.*` / `rit.tlb.*`
+    /// aggregate counters by name).
     pub fn attach_telemetry(&mut self, telemetry: &rrs_telemetry::Telemetry) {
         self.tracker.attach_telemetry(telemetry);
+        self.rit.attach_telemetry(telemetry);
     }
 
     /// Physical row currently holding logical `row` (§4.1 steps ①–③).

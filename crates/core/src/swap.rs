@@ -112,22 +112,24 @@ impl SwapEngine {
     /// [`SwapEngine::record_swap`] with the bank and row pair known, so the
     /// swap's start and completion appear on the event trace.
     pub fn record_swap_of(&mut self, now: Cycle, bank: u64, row_a: u64, row_b: u64) -> Cycle {
+        // Untraced (the hot path): exactly `record_swap`, no extra work.
+        if !self.telemetry.tracing() {
+            return self.record_swap(now);
+        }
         let start = now.max(self.busy_until);
         let free = self.record_swap(now);
-        if self.telemetry.tracing() {
-            self.telemetry.emit(Event::SwapStart {
-                at: start,
-                bank,
-                row_a,
-                row_b,
-            });
-            self.telemetry.emit(Event::SwapDone {
-                at: free,
-                bank,
-                row_a,
-                row_b,
-            });
-        }
+        self.telemetry.emit(Event::SwapStart {
+            at: start,
+            bank,
+            row_a,
+            row_b,
+        });
+        self.telemetry.emit(Event::SwapDone {
+            at: free,
+            bank,
+            row_a,
+            row_b,
+        });
         free
     }
 
@@ -143,16 +145,18 @@ impl SwapEngine {
     /// [`SwapEngine::record_unswap`] with the bank and row pair known, so
     /// the restore appears on the event trace.
     pub fn record_unswap_of(&mut self, now: Cycle, bank: u64, row_a: u64, row_b: u64) -> Cycle {
+        // Untraced (the hot path): exactly `record_unswap`, no extra work.
+        if !self.telemetry.tracing() {
+            return self.record_unswap(now);
+        }
         let start = now.max(self.busy_until);
         let free = self.record_unswap(now);
-        if self.telemetry.tracing() {
-            self.telemetry.emit(Event::Unswap {
-                at: start,
-                bank,
-                row_a,
-                row_b,
-            });
-        }
+        self.telemetry.emit(Event::Unswap {
+            at: start,
+            bank,
+            row_a,
+            row_b,
+        });
         free
     }
 

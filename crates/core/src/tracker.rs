@@ -21,8 +21,7 @@
 //! (modulo which minimum-count entry is replaced on ties), which the tests
 //! exploit for differential testing.
 
-use std::collections::BTreeMap;
-
+use rrs_flat::FlatMap;
 use rrs_telemetry::{Counter, Event, Telemetry};
 
 use crate::cat::{Cat, CatConfig};
@@ -94,10 +93,14 @@ impl TrackerConfig {
 }
 
 /// Reference Misra-Gries tracker over a content-addressable table.
+///
+/// Counts live in a deterministic [`FlatMap`]; the replacement rule picks
+/// the minimum of the total order `(count, row)`, which is independent of
+/// iteration order, so the flat table changes nothing observable.
 #[derive(Debug, Clone)]
 pub struct CamTracker {
     config: TrackerConfig,
-    counts: BTreeMap<u64, u64>,
+    counts: FlatMap<u64>,
     spill: u64,
 }
 
@@ -106,7 +109,7 @@ impl CamTracker {
     pub fn new(config: TrackerConfig) -> Self {
         CamTracker {
             config,
-            counts: BTreeMap::new(),
+            counts: FlatMap::new(),
             spill: 0,
         }
     }
@@ -119,15 +122,15 @@ impl CamTracker {
     fn min_entry(&self) -> Option<(u64, u64)> {
         self.counts
             .iter()
-            .min_by_key(|&(row, count)| (*count, *row))
-            .map(|(&row, &count)| (row, count))
+            .map(|(row, &count)| (row, count))
+            .min_by_key(|&(row, count)| (count, row))
     }
 }
 
 impl HotRowTracker for CamTracker {
     fn record_access(&mut self, row: u64) -> AccessVerdict {
         let t = self.config.threshold;
-        if let Some(c) = self.counts.get_mut(&row) {
+        if let Some(c) = self.counts.get_mut(row) {
             *c += 1;
             return AccessVerdict {
                 swap_due: *c % t == 0,
@@ -158,7 +161,7 @@ impl HotRowTracker for CamTracker {
             }
         } else {
             // spill == min: replace the minimum entry (Figure 3).
-            self.counts.remove(&min_row);
+            self.counts.remove(min_row);
             let c = self.spill + 1;
             self.counts.insert(row, c);
             AccessVerdict {
@@ -169,11 +172,11 @@ impl HotRowTracker for CamTracker {
     }
 
     fn contains(&self, row: u64) -> bool {
-        self.counts.contains_key(&row)
+        self.counts.contains_key(row)
     }
 
     fn count_of(&self, row: u64) -> Option<u64> {
-        self.counts.get(&row).copied()
+        self.counts.get(row).copied()
     }
 
     fn len(&self) -> usize {
@@ -213,6 +216,19 @@ pub struct CatTracker {
     /// set, `u64::MAX` when the set is empty. "On access, install, and
     /// invalidation in a set, the SetMin is recomputed" (§6.4).
     set_min: [Vec<u64>; 2],
+    /// Cached minimum over the whole `set_min` array, kept exact on every
+    /// slot write so the per-miss global-minimum query is O(1) instead of
+    /// an O(sets) scan (the hot-path cost §6.4's SetMin array was built to
+    /// avoid in hardware).
+    min_cache: u64,
+    /// Number of `set_min` slots currently equal to `min_cache`; a full
+    /// rescan is needed only when the last one rises.
+    sets_at_min: usize,
+    /// Eviction scan cursor: no `(table, set)` strictly before this
+    /// position (row-major over the `set_min` array) holds `min_cache`, so
+    /// the victim search can start here instead of at `(0, 0)` and still
+    /// pick the *same* first-at-minimum set the full scan would.
+    min_scan_hint: (usize, usize),
     spill: u64,
     /// Installs abandoned because both CAT candidate sets were full —
     /// astronomically rare with the paper's 6 extra ways (Figure 9); the
@@ -241,6 +257,9 @@ impl CatTracker {
             config,
             cat: Cat::new(cat_cfg),
             set_min: [vec![u64::MAX; sets], vec![u64::MAX; sets]],
+            min_cache: u64::MAX,
+            sets_at_min: 2 * sets,
+            min_scan_hint: (0, 0),
             spill: 0,
             conflicts: 0,
             installs: telemetry.counter("hrt.installs"),
@@ -272,20 +291,78 @@ impl CatTracker {
             .map(|(_, &c)| c)
             .min()
             .unwrap_or(u64::MAX);
-        if let Some(slot) = self.set_min.get_mut(table).and_then(|v| v.get_mut(set)) {
-            *slot = m;
+        self.write_set_min(table, set, m);
+    }
+
+    /// Writes one `set_min` slot and maintains the `min_cache` /
+    /// `sets_at_min` mirror exactly (every slot mutation funnels through
+    /// here, so `min_cache == min(set_min)` is an invariant). Slots are
+    /// never below the cached minimum, so the three cases are exhaustive.
+    fn write_set_min(&mut self, table: usize, set: usize, m: u64) {
+        let Some(slot) = self.set_min.get_mut(table).and_then(|v| v.get_mut(set)) else {
+            return;
+        };
+        let old = *slot;
+        *slot = m;
+        if m < self.min_cache {
+            // Every slot is >= the old minimum, so this one is now the
+            // unique (and first) position at the new minimum.
+            self.min_cache = m;
+            self.sets_at_min = 1;
+            self.min_scan_hint = (table, set);
+        } else if m == self.min_cache {
+            if old > self.min_cache {
+                self.sets_at_min += 1;
+            }
+            self.min_scan_hint = self.min_scan_hint.min((table, set));
+        } else if old == self.min_cache {
+            self.sets_at_min -= 1;
+            if self.sets_at_min == 0 {
+                self.refresh_min_cache();
+            }
         }
     }
 
-    /// Global minimum counter: a scan of the SetMin array (2 × sets values,
-    /// not a fully-associative search — the point of §6.4).
-    fn global_min(&self) -> u64 {
-        self.set_min
+    /// Full rescan of the SetMin array; only reached when the last slot at
+    /// the cached minimum rises (rare — amortized O(1) per eviction).
+    fn refresh_min_cache(&mut self) {
+        self.min_cache = self
+            .set_min
             .iter()
             .flat_map(|v| v.iter())
             .copied()
             .min()
-            .unwrap_or(u64::MAX)
+            .unwrap_or(u64::MAX);
+        self.sets_at_min = 0;
+        self.min_scan_hint = (0, 0);
+        for (t, mins) in self.set_min.iter().enumerate() {
+            for (s, &m) in mins.iter().enumerate() {
+                if m == self.min_cache {
+                    if self.sets_at_min == 0 {
+                        self.min_scan_hint = (t, s);
+                    }
+                    self.sets_at_min += 1;
+                }
+            }
+        }
+    }
+
+    /// Global minimum counter. Hardware scans the SetMin array (2 × sets
+    /// values, not a fully-associative search — the point of §6.4); the
+    /// model additionally caches that scan's result, invalidated precisely
+    /// on SetMin writes, so the per-miss query is O(1).
+    fn global_min(&self) -> u64 {
+        debug_assert_eq!(
+            self.min_cache,
+            self.set_min
+                .iter()
+                .flat_map(|v| v.iter())
+                .copied()
+                .min()
+                .unwrap_or(u64::MAX),
+            "min_cache out of sync with the SetMin array"
+        );
+        self.min_cache
     }
 
     fn evict_one_min(&mut self, min: u64) {
@@ -306,25 +383,51 @@ impl CatTracker {
 
     fn try_evict_min(&mut self, min: u64) -> bool {
         // Find a minimum-count victim first (immutably), then mutate: the
-        // entry may physically live in the *other* table's candidate set,
-        // so remove by tag and repair the set it actually occupied.
-        let victim = self
-            .set_min
-            .iter()
-            .enumerate()
-            .flat_map(|(t, mins)| mins.iter().enumerate().map(move |(s, &m)| (t, s, m)))
-            .filter(|&(_, _, m)| m == min)
-            .find_map(|(t, s, _)| {
-                self.cat
-                    .set_iter(t, s)
-                    .find(|(_, &c)| c == min)
-                    .map(|(tag, _)| tag)
-            });
+        // victim is the first entry at `min` in the first set (row-major)
+        // whose SetMin equals `min`. The scan cursor lets the search start
+        // past the prefix known to hold no at-minimum set — same victim,
+        // without re-walking the whole SetMin array every eviction.
+        #[cfg(debug_assertions)]
+        for (t, mins) in self.set_min.iter().enumerate() {
+            for (s, &m) in mins.iter().enumerate() {
+                if (t, s) < self.min_scan_hint {
+                    debug_assert_ne!(m, self.min_cache, "stale eviction scan cursor");
+                }
+            }
+        }
+        let start = if min == self.min_cache {
+            self.min_scan_hint
+        } else {
+            (0, 0)
+        };
+        let mut first_at_min = None;
+        let mut victim = None;
+        'scan: for (t, mins) in self.set_min.iter().enumerate().skip(start.0) {
+            let skip = if t == start.0 { start.1 } else { 0 };
+            for (s, &m) in mins.iter().enumerate().skip(skip) {
+                if m != min {
+                    continue;
+                }
+                if first_at_min.is_none() {
+                    first_at_min = Some((t, s));
+                }
+                if let Some((tag, _)) = self.cat.set_iter(t, s).find(|(_, &c)| c == min) {
+                    victim = Some(tag);
+                    break 'scan;
+                }
+            }
+        }
+        if min == self.min_cache {
+            // Positions scanned over held values != min, so the first
+            // at-minimum position seen is the new safe scan start.
+            if let Some(pos) = first_at_min {
+                self.min_scan_hint = pos;
+            }
+        }
         let Some(tag) = victim else { return false };
-        let Some(loc) = self.cat.locate(tag) else {
+        let Some((loc, _)) = self.cat.remove_entry(tag) else {
             return false;
         };
-        self.cat.remove(tag);
         self.recompute_set_min(loc.0, loc.1);
         self.evicts.inc();
         if self.telemetry.tracing() {
@@ -354,9 +457,13 @@ impl CatTracker {
         let relocations_before = self.cat.relocations();
         match self.cat.insert(row, count) {
             Ok((table, set, _)) => {
-                if let Some(slot) = self.set_min.get_mut(table).and_then(|v| v.get_mut(set)) {
-                    *slot = (*slot).min(count);
-                }
+                let old = self
+                    .set_min
+                    .get(table)
+                    .and_then(|v| v.get(set))
+                    .copied()
+                    .unwrap_or(u64::MAX);
+                self.write_set_min(table, set, old.min(count));
                 self.installs.inc();
                 let moves = self.cat.relocations() - relocations_before;
                 self.cat_relocations.add(moves);
@@ -452,9 +559,14 @@ impl HotRowTracker for CatTracker {
 
     fn reset(&mut self) {
         self.cat.clear();
+        let mut slots = 0;
         for v in &mut self.set_min {
             v.iter_mut().for_each(|m| *m = u64::MAX);
+            slots += v.len();
         }
+        self.min_cache = u64::MAX;
+        self.sets_at_min = slots;
+        self.min_scan_hint = (0, 0);
         self.spill = 0;
     }
 

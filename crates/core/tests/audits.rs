@@ -138,6 +138,38 @@ fn misplaced_cat_tag_fails_the_audit() {
 }
 
 #[test]
+fn stale_cat_index_fails_the_audit() {
+    let mut cat = small_cat();
+    cat.insert(42, 7).unwrap();
+    CatAudit::verify(&cat).unwrap();
+    // Drop the tag from the flat index while its slot stays resident: the
+    // hot-path lookup now misses an entry the scan still finds.
+    assert!(cat.corrupt_index_for_test(42));
+    let err = CatAudit::verify(&cat).expect_err("corruption must be caught");
+    assert_eq!(err, AuditError::CatIndexIncoherent { tag: 42 });
+    assert!(err.to_string().contains("flat index"));
+}
+
+#[test]
+fn stale_resolve_tlb_fails_the_audit() {
+    let mut rit = RowIndirectionTable::new(16, 0xCAFE);
+    rit.swap(1, 2).unwrap();
+    RitAudit::verify(&rit).unwrap();
+    // Cache a mapping the CATs contradict: a missed invalidation.
+    rit.corrupt_tlb_for_test(1, 7);
+    let err = RitAudit::verify(&rit).expect_err("corruption must be caught");
+    assert_eq!(
+        err,
+        AuditError::RitTlbIncoherent {
+            key: 1,
+            cached: 7,
+            actual: 2
+        }
+    );
+    assert!(err.to_string().contains("resolve-TLB"));
+}
+
+#[test]
 fn corrupted_swap_accounting_fails_the_audit() {
     let mut e = engine();
     e.record_swap(0);

@@ -18,9 +18,20 @@
 //! The model tracks *physical* rows: under RRS, activations land wherever
 //! the Row Indirection Table currently maps the requested row.
 
-use std::collections::{BTreeMap, BTreeSet};
+use rrs_flat::{FlatMap, FlatSet};
 
 use crate::geometry::{DramGeometry, RowAddr};
+
+/// Packs a [`RowAddr`] into one word for the flat per-row tables
+/// (channel/rank/bank are `u8`, row is `u32`, so the fields cannot
+/// collide and the packed key never reaches `u64::MAX`).
+#[inline]
+fn pack(addr: RowAddr) -> u64 {
+    (u64::from(addr.channel.0) << 48)
+        | (u64::from(addr.rank.0) << 40)
+        | (u64::from(addr.bank.0) << 32)
+        | u64::from(addr.row.0)
+}
 
 /// The default Row Hammer threshold targeted by the paper: 4.8 K activations
 /// (LPDDR4-new, Kim et al. 2020).
@@ -168,9 +179,13 @@ pub struct BitFlip {
 pub struct HammerModel {
     config: HammerConfig,
     geometry: DramGeometry,
-    disturbance: BTreeMap<RowAddr, f64>,
-    activations: BTreeMap<RowAddr, u64>,
-    flipped_this_epoch: BTreeSet<RowAddr>,
+    /// Packed `RowAddr` → accumulated disturbance. Iteration order is
+    /// never observed: flips are emitted in neighbour order at the
+    /// disturbing activation, so the flat table changes nothing.
+    disturbance: FlatMap<f64>,
+    /// Packed `RowAddr` → activations this window.
+    activations: FlatMap<u64>,
+    flipped_this_epoch: FlatSet,
     flips: Vec<BitFlip>,
     total_flips: u64,
     epoch: u64,
@@ -182,9 +197,9 @@ impl HammerModel {
         HammerModel {
             config,
             geometry,
-            disturbance: BTreeMap::new(),
-            activations: BTreeMap::new(),
-            flipped_this_epoch: BTreeSet::new(),
+            disturbance: FlatMap::new(),
+            activations: FlatMap::new(),
+            flipped_this_epoch: FlatSet::new(),
             flips: Vec::new(),
             total_flips: 0,
             epoch: 0,
@@ -207,8 +222,8 @@ impl HammerModel {
     /// registers flips that cross `T_RH`.
     pub fn record_activation(&mut self, addr: RowAddr) {
         debug_assert!(self.geometry.contains(addr), "activation out of range");
-        *self.activations.entry(addr).or_insert(0) += 1;
-        self.disturbance.remove(&addr);
+        *self.activations.get_or_insert_with(pack(addr), || 0) += 1;
+        self.disturbance.remove(pack(addr));
         self.disturb_neighbors(addr);
     }
 
@@ -216,7 +231,7 @@ impl HammerModel {
     /// the row's own charge, and — if configured — disturbs its neighbours
     /// exactly like an activation (the Half-Double enabler).
     pub fn record_targeted_refresh(&mut self, addr: RowAddr) {
-        self.disturbance.remove(&addr);
+        self.disturbance.remove(pack(addr));
         if self.config.targeted_refresh_disturbs {
             self.disturb_neighbors(addr);
         }
@@ -245,13 +260,15 @@ impl HammerModel {
                 continue;
             };
             for n in addr.neighbors(d, &self.geometry) {
-                let e = self.disturbance.entry(n).or_insert(0.0);
+                let key = pack(n);
+                let e = self.disturbance.get_or_insert_with(key, || 0.0);
                 *e += w;
-                if *e >= self.config.t_rh as f64 && self.flipped_this_epoch.insert(n) {
+                let disturbance = *e;
+                if disturbance >= self.config.t_rh as f64 && self.flipped_this_epoch.insert(key) {
                     self.flips.push(BitFlip {
                         victim: n,
                         epoch: self.epoch,
-                        disturbance: *e,
+                        disturbance,
                     });
                     self.total_flips += 1;
                 }
@@ -261,12 +278,12 @@ impl HammerModel {
 
     /// Accumulated disturbance of `addr` in the current window.
     pub fn disturbance_of(&self, addr: RowAddr) -> f64 {
-        self.disturbance.get(&addr).copied().unwrap_or(0.0)
+        self.disturbance.get(pack(addr)).copied().unwrap_or(0.0)
     }
 
     /// Activations of `addr` recorded in the current window.
     pub fn activations_of(&self, addr: RowAddr) -> u64 {
-        self.activations.get(&addr).copied().unwrap_or(0)
+        self.activations.get(pack(addr)).copied().unwrap_or(0)
     }
 
     /// Number of distinct rows with at least `n` activations this window —

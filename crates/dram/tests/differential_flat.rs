@@ -1,0 +1,133 @@
+//! Differential property test pinning the flat-table [`HammerModel`]
+//! against an ordered-map reference: identical activation sequences must
+//! produce identical flip sequences (order included), disturbance levels,
+//! and per-window statistics. The flat tables are a pure representation
+//! change — any divergence here is a determinism bug.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use rrs_check::check;
+use rrs_dram::geometry::{DramGeometry, RowAddr};
+use rrs_dram::hammer::{HammerConfig, HammerModel};
+
+/// The pre-flat disturbance model, mirrored verbatim over ordered maps.
+struct ReferenceModel {
+    config: HammerConfig,
+    geometry: DramGeometry,
+    disturbance: BTreeMap<RowAddr, f64>,
+    activations: BTreeMap<RowAddr, u64>,
+    flipped_this_epoch: BTreeSet<RowAddr>,
+    flips: Vec<(RowAddr, u64, f64)>,
+    epoch: u64,
+}
+
+impl ReferenceModel {
+    fn record_activation(&mut self, addr: RowAddr) {
+        *self.activations.entry(addr).or_insert(0) += 1;
+        self.disturbance.remove(&addr);
+        self.disturb_neighbors(addr);
+    }
+
+    fn record_targeted_refresh(&mut self, addr: RowAddr) {
+        self.disturbance.remove(&addr);
+        if self.config.targeted_refresh_disturbs {
+            self.disturb_neighbors(addr);
+        }
+    }
+
+    fn end_epoch(&mut self) {
+        self.disturbance.clear();
+        self.activations.clear();
+        self.flipped_this_epoch.clear();
+        self.epoch += 1;
+    }
+
+    fn disturb_neighbors(&mut self, addr: RowAddr) {
+        for d in 1..=self.config.blast_radius {
+            let Some(w) = self.config.distance_weights.get(d as usize - 1).copied() else {
+                continue;
+            };
+            for n in addr.neighbors(d, &self.geometry) {
+                let e = self.disturbance.entry(n).or_insert(0.0);
+                *e += w;
+                if *e >= self.config.t_rh as f64 && self.flipped_this_epoch.insert(n) {
+                    self.flips.push((n, self.epoch, *e));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn hammer_model_matches_btreemap_reference() {
+    check(|g| {
+        let geometry = DramGeometry::tiny_test();
+        let config = HammerConfig::for_threshold(g.u64_in(2..12));
+        let mut model = HammerModel::new(config.clone(), geometry);
+        let mut reference = ReferenceModel {
+            config,
+            geometry,
+            disturbance: BTreeMap::new(),
+            activations: BTreeMap::new(),
+            flipped_this_epoch: BTreeSet::new(),
+            flips: Vec::new(),
+            epoch: 0,
+        };
+        // A handful of nearby rows so neighbourhoods overlap and flips fire.
+        let rows = 24;
+        let ops = g.usize_in(1..250);
+        for _ in 0..ops {
+            let addr = RowAddr::new(0, 0, g.u8() % 2, g.u32() % rows);
+            match g.below(12) {
+                0 => {
+                    model.record_targeted_refresh(addr);
+                    reference.record_targeted_refresh(addr);
+                }
+                1 => {
+                    model.full_refresh();
+                    reference.disturbance.clear();
+                }
+                2 => {
+                    model.end_epoch();
+                    reference.end_epoch();
+                }
+                _ => {
+                    model.record_activation(addr);
+                    reference.record_activation(addr);
+                }
+            }
+        }
+        // Flip *sequences* must match exactly — victims, epochs, disturbance
+        // levels, in emission order.
+        let flips: Vec<(RowAddr, u64, f64)> = model
+            .take_bit_flips()
+            .into_iter()
+            .map(|f| (f.victim, f.epoch, f.disturbance))
+            .collect();
+        assert_eq!(flips, reference.flips);
+        assert_eq!(model.total_flips(), reference.flips.len() as u64);
+        // Every row's window state must match, not just the flipped ones.
+        for bank in 0..2 {
+            for row in 0..rows {
+                let addr = RowAddr::new(0, 0, bank, row);
+                assert_eq!(model.disturbance_of(addr), reference.disturbance_of(addr));
+                assert_eq!(
+                    model.activations_of(addr),
+                    reference.activations.get(&addr).copied().unwrap_or(0)
+                );
+            }
+        }
+        for n in [1, 2, 5] {
+            assert_eq!(
+                model.rows_with_activations_at_least(n),
+                reference.activations.values().filter(|&&c| c >= n).count()
+            );
+        }
+    });
+}
+
+impl ReferenceModel {
+    fn disturbance_of(&self, addr: RowAddr) -> f64 {
+        self.disturbance.get(&addr).copied().unwrap_or(0.0)
+    }
+}

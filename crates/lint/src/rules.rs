@@ -31,11 +31,12 @@ pub const SIM_CRATES: &[&str] = &[
     "json",
     "telemetry",
     "forensics",
+    "flat",
 ];
 
 /// Crates on the per-activation hot path (§4.1: every access consults the
 /// RIT), where a panic aborts a whole campaign cell.
-pub const HOT_CRATES: &[&str] = &["core", "dram", "mem-ctrl", "sim", "telemetry"];
+pub const HOT_CRATES: &[&str] = &["core", "dram", "mem-ctrl", "sim", "telemetry", "flat"];
 
 /// All rule ids, in reporting order.
 pub const ALL_RULES: &[&str] = &[

@@ -22,6 +22,7 @@
 use rrs_core::prince::Prince;
 use rrs_dram::geometry::{DramGeometry, RowAddr};
 use rrs_dram::timing::Cycle;
+use rrs_flat::FlatMap;
 use rrs_mem_ctrl::mitigation::{Mitigation, MitigationAction};
 
 /// BlockHammer parameters.
@@ -78,7 +79,8 @@ struct BankFilters {
     /// Exact last-activation time per *blacklisted* row (BlockHammer's
     /// activation-history buffer): spacing is enforced per row, while the
     /// Bloom filters decide — with aliasing collateral — who is throttled.
-    last_act: std::collections::BTreeMap<u32, Cycle>,
+    /// Keyed by the in-bank row number (the filters are already per bank).
+    last_act: FlatMap<Cycle>,
 }
 
 impl BankFilters {
@@ -86,7 +88,7 @@ impl BankFilters {
         BankFilters {
             filters: [vec![0; m], vec![0; m]],
             older: 0,
-            last_act: std::collections::BTreeMap::new(),
+            last_act: FlatMap::new(),
         }
     }
 }
@@ -173,7 +175,7 @@ impl Mitigation for BlockHammer {
         let bank = &self.banks[row.bank_index(&self.geometry)];
         let earliest = bank
             .last_act
-            .get(&row.row.0)
+            .get(u64::from(row.row.0))
             .map(|&t| t + t_delay)
             .unwrap_or(0);
         let delay = earliest.saturating_sub(now);
@@ -194,7 +196,7 @@ impl Mitigation for BlockHammer {
             bank.filters[1][b] = bank.filters[1][b].saturating_add(1);
         }
         if blacklisted {
-            let t = bank.last_act.entry(row.row.0).or_insert(0);
+            let t = bank.last_act.get_or_insert_with(u64::from(row.row.0), || 0);
             *t = (*t).max(at);
         }
     }

@@ -13,11 +13,19 @@
 //! paper notes is still insufficient — the blast radius just moves to
 //! distance 3 as devices scale (§1).
 
-use std::collections::BTreeMap;
-
 use rrs_dram::geometry::{DramGeometry, RowAddr};
 use rrs_dram::timing::Cycle;
+use rrs_flat::FlatMap;
 use rrs_mem_ctrl::mitigation::{Mitigation, MitigationAction};
+
+/// Packs a [`RowAddr`] into one word for the flat activation table.
+#[inline]
+fn pack(addr: RowAddr) -> u64 {
+    (u64::from(addr.channel.0) << 48)
+        | (u64::from(addr.rank.0) << 40)
+        | (u64::from(addr.bank.0) << 32)
+        | u64::from(addr.row.0)
+}
 
 /// Configuration of the idealized victim-focused defense.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,7 +53,7 @@ impl VictimRefreshConfig {
 pub struct VictimRefresh {
     config: VictimRefreshConfig,
     geometry: DramGeometry,
-    counts: BTreeMap<RowAddr, u64>,
+    counts: FlatMap<u64>,
     name: String,
 }
 
@@ -59,7 +67,7 @@ impl VictimRefresh {
             ),
             config,
             geometry,
-            counts: BTreeMap::new(),
+            counts: FlatMap::new(),
         }
     }
 
@@ -70,7 +78,7 @@ impl VictimRefresh {
 
     /// Per-epoch activation count currently recorded for `row`.
     pub fn count_of(&self, row: RowAddr) -> u64 {
-        self.counts.get(&row).copied().unwrap_or(0)
+        self.counts.get(pack(row)).copied().unwrap_or(0)
     }
 }
 
@@ -80,7 +88,7 @@ impl Mitigation for VictimRefresh {
     }
 
     fn on_activation(&mut self, row: RowAddr, _at: Cycle, actions: &mut Vec<MitigationAction>) {
-        let c = self.counts.entry(row).or_insert(0);
+        let c = self.counts.get_or_insert_with(pack(row), || 0);
         *c += 1;
         if (*c).is_multiple_of(self.config.refresh_threshold) {
             for d in 1..=self.config.victim_distance {
